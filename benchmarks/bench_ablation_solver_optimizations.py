@@ -1,0 +1,136 @@
+"""Ablations for the design choices called out in DESIGN.md Section 4.
+
+* bipartite solver: Algorithm 4's satisfied/violated/uncertain pruning vs
+  the basic full-tracking DP;
+* lifted solver: gap merging and dead-state pruning on/off;
+* two-label solver: gap merging on/off.
+
+Each ablation verifies the optimized and unoptimized variants agree and
+reports their runtimes; the optimized variants must not be substantially
+slower and are typically much faster.
+"""
+
+import pytest
+
+from repro.datasets.benchmarks import benchmark_a, benchmark_c, benchmark_d
+from repro.evaluation.experiments_exact import ExperimentResult
+from repro.evaluation.harness import Timer
+from repro.solvers.bipartite import bipartite_probability
+from repro.solvers.lifted import lifted_probability
+from repro.solvers.two_label import two_label_probability
+
+
+def test_bipartite_pruning_ablation(record_result, benchmark):
+    result = ExperimentResult(
+        experiment="ablation_bipartite_pruning",
+        headers=["instance", "pruned_s", "basic_s", "speedup", "agree"],
+    )
+    instances = list(
+        benchmark_c(
+            m_values=(8, 10),
+            patterns_per_union=(2,),
+            labels_per_pattern=(3,),
+            items_per_label=(2,),
+            instances_per_combo=2,
+            seed=41,
+        )
+    )
+    speedups = []
+    for instance in instances:
+        with Timer() as pruned_timer:
+            pruned = bipartite_probability(
+                instance.model, instance.labeling, instance.union
+            )
+        with Timer() as basic_timer:
+            basic = bipartite_probability(
+                instance.model, instance.labeling, instance.union,
+                pruned=False,
+            )
+        agree = abs(pruned.probability - basic.probability) < 1e-9
+        speedup = basic_timer.seconds / max(pruned_timer.seconds, 1e-9)
+        speedups.append(speedup)
+        result.rows.append(
+            [instance.name, pruned_timer.seconds, basic_timer.seconds,
+             speedup, agree]
+        )
+        assert agree
+    record_result(result)
+
+    instance = instances[0]
+    benchmark.pedantic(
+        lambda: bipartite_probability(
+            instance.model, instance.labeling, instance.union
+        ),
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_lifted_optimizations_ablation(record_result, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    result = ExperimentResult(
+        experiment="ablation_lifted_optimizations",
+        headers=["instance", "full_s", "no_gap_merge_s", "no_dead_prune_s", "agree"],
+    )
+    instances = benchmark_a(n_unions=3, m=8, items_per_label=1, seed=42)
+    for instance in instances:
+        union = instance.union
+        with Timer() as full_timer:
+            full = lifted_probability(instance.model, instance.labeling, union)
+        with Timer() as no_merge_timer:
+            no_merge = lifted_probability(
+                instance.model, instance.labeling, union, merge_gaps=False
+            )
+        with Timer() as no_prune_timer:
+            no_prune = lifted_probability(
+                instance.model, instance.labeling, union, prune_dead=False
+            )
+        agree = (
+            abs(full.probability - no_merge.probability) < 1e-9
+            and abs(full.probability - no_prune.probability) < 1e-9
+        )
+        result.rows.append(
+            [instance.name, full_timer.seconds, no_merge_timer.seconds,
+             no_prune_timer.seconds, agree]
+        )
+        assert agree
+    record_result(result)
+
+
+def test_two_label_gap_merge_ablation(record_result, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    result = ExperimentResult(
+        experiment="ablation_two_label_gap_merge",
+        headers=["instance", "merged_s", "plain_s", "speedup", "agree"],
+    )
+    instances = list(
+        benchmark_d(
+            m_values=(20,),
+            patterns_per_union=(2, 3),
+            items_per_label=(3,),
+            instances_per_combo=2,
+            seed=43,
+        )
+    )
+    speedups = []
+    for instance in instances:
+        with Timer() as merged_timer:
+            merged = two_label_probability(
+                instance.model, instance.labeling, instance.union
+            )
+        with Timer() as plain_timer:
+            plain = two_label_probability(
+                instance.model, instance.labeling, instance.union,
+                merge_gaps=False,
+            )
+        agree = abs(merged.probability - plain.probability) < 1e-9
+        speedup = plain_timer.seconds / max(merged_timer.seconds, 1e-9)
+        speedups.append(speedup)
+        result.rows.append(
+            [instance.name, merged_timer.seconds, plain_timer.seconds,
+             speedup, agree]
+        )
+        assert agree
+    record_result(result)
+    # Gap merging should help on average (items serving no label dominate).
+    assert sum(speedups) / len(speedups) > 1.0

@@ -1,0 +1,33 @@
+"""Figure 5: general-solver subroutine time vs conjunction size (Benchmark-A).
+
+Paper result: the running time of the single-pattern solver grows
+exponentially with the number of patterns in an inclusion-exclusion
+conjunction (about 10 s at size 1 to 10^5 s at size 3 on m = 15).
+
+Scaled reproduction: m = 8, 1 item per label; same exponential growth.
+"""
+
+from repro.datasets.benchmarks import benchmark_a
+from repro.evaluation.experiments import figure_5
+from repro.patterns.pattern import pattern_conjunction
+from repro.solvers.lifted import lifted_probability
+
+
+def test_figure_5_sweep(record_result, benchmark):
+    result = figure_5(n_unions=3, m=8, items_per_label=1)
+    record_result(result)
+
+    # Growth must be monotone in the conjunction size (the figure's shape).
+    means = {row[0]: row[1] for row in result.rows}
+    assert means[1] < means[2] < means[3]
+
+    # Representative timed unit: one size-2 conjunction.
+    instance = benchmark_a(n_unions=1, m=8, items_per_label=1, seed=5)[0]
+    conjunction = pattern_conjunction(list(instance.union.patterns[:2]))
+    benchmark.pedantic(
+        lambda: lifted_probability(
+            instance.model, instance.labeling, conjunction
+        ),
+        rounds=3,
+        iterations=1,
+    )

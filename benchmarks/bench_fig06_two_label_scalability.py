@@ -1,0 +1,49 @@
+"""Figure 6: two-label solver completion heatmap on Benchmark-D.
+
+Paper result: the fraction of instances finishing within 10 minutes falls
+from 100% (m = 20, z = 2) to 3% (m = 60, z = 5): the solver is sensitive to
+both the model size and the union size.
+
+Scaled reproduction: m in 10..22, 5-second budget; the completion fraction
+must be non-increasing along both axes (up to sampling noise, checked on
+the corners).
+"""
+
+from repro.datasets.benchmarks import benchmark_d
+from repro.evaluation.experiments import figure_6
+from repro.solvers.two_label import two_label_probability
+
+
+def test_figure_6_heatmap(record_result, benchmark):
+    result = figure_6(
+        m_values=(10, 14, 18, 22),
+        patterns_per_union=(2, 3, 4, 5),
+        instances_per_cell=2,
+        time_budget=3.0,
+    )
+    record_result(result)
+
+    fractions = {(row[0], row[1]): row[2] for row in result.rows}
+    # Corner ordering: the easiest cell completes at least as often as the
+    # hardest cell.
+    assert fractions[(10, 2)] >= fractions[(22, 5)]
+
+    # Representative timed unit: one easy instance (m=10, z=2).
+    instance = next(
+        iter(
+            benchmark_d(
+                m_values=(10,),
+                patterns_per_union=(2,),
+                items_per_label=(3,),
+                instances_per_combo=1,
+                seed=6,
+            )
+        )
+    )
+    benchmark.pedantic(
+        lambda: two_label_probability(
+            instance.model, instance.labeling, instance.union
+        ),
+        rounds=3,
+        iterations=1,
+    )

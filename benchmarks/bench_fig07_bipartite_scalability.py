@@ -1,0 +1,62 @@
+"""Figure 7: bipartite-solver scalability on Benchmark-C.
+
+Paper result: runtime increases very fast both with the number of items m
+and with the number of labels per pattern (7a; 3 patterns/union fixed) and
+with the number of patterns per union (7b; 3 labels/pattern fixed) —
+complexity O(m^{qz}) — but the solver is practical for lower m.
+
+Scaled reproduction: m in 6..10, 1 item per label.
+"""
+
+from repro.datasets.benchmarks import benchmark_c
+from repro.evaluation.experiments import figure_7a, figure_7b
+from repro.solvers.bipartite import bipartite_probability
+
+
+def test_figure_7a_labels_axis(record_result, benchmark):
+    result = figure_7a(
+        m_values=(6, 8, 10),
+        labels_per_pattern=(2, 3, 4),
+        instances_per_cell=2,
+        time_budget=20.0,
+    )
+    record_result(result)
+    medians = {(row[0], row[1]): row[2] for row in result.rows}
+    # Runtime grows with both axes (corner comparison).
+    assert medians[(6, 2)] <= medians[(10, 4)]
+
+    instance = next(
+        iter(
+            benchmark_c(
+                m_values=(8,),
+                patterns_per_union=(3,),
+                labels_per_pattern=(3,),
+                items_per_label=(1,),
+                instances_per_combo=1,
+                seed=7,
+            )
+        )
+    )
+    benchmark.pedantic(
+        lambda: bipartite_probability(
+            instance.model, instance.labeling, instance.union
+        ),
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_figure_7b_patterns_axis(record_result, benchmark):
+    result = benchmark.pedantic(
+        lambda: figure_7b(
+            m_values=(6, 8, 10),
+            patterns_per_union=(1, 2, 3),
+            instances_per_cell=2,
+            time_budget=20.0,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    record_result(result)
+    medians = {(row[0], row[1]): row[2] for row in result.rows}
+    assert medians[(6, 1)] <= medians[(10, 3)]

@@ -1,0 +1,50 @@
+"""Figure 10: MIS-AMP-lite accuracy vs number of proposal distributions.
+
+Paper result: on Benchmark-A and Benchmark-C (3 patterns/union, 3
+labels/pattern, 3 items/label) the relative-error distribution tightens as
+the number of proposal distributions grows from 1 to 20, plateauing around
+20; overall errors are low.
+
+Scaled reproduction: m = 10 (A) and m = 8 (C); the median error at d = 20
+must improve on d = 1.
+"""
+
+import numpy as np
+
+from repro.approx.lite import LiteWorkspace, mis_amp_lite
+from repro.datasets.benchmarks import benchmark_a
+from repro.evaluation.experiments import figure_10
+
+
+def test_figure_10a_benchmark_a(record_result, benchmark):
+    result = figure_10(
+        benchmark="a", d_values=(1, 2, 5, 10, 20), n_instances=6, m=10
+    )
+    record_result(result)
+    medians = {row[0]: row[2] for row in result.rows}
+    assert medians[20] <= medians[1]
+
+    instance = benchmark_a(n_unions=1, m=10, items_per_label=2, seed=10)[0]
+    workspace = LiteWorkspace(instance.model, instance.labeling, instance.union)
+    rng = np.random.default_rng(10)
+    benchmark.pedantic(
+        lambda: mis_amp_lite(
+            instance.model, instance.labeling, instance.union,
+            n_proposals=10, n_per_proposal=300, rng=rng, workspace=workspace,
+        ),
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_figure_10b_benchmark_c(record_result, benchmark):
+    result = benchmark.pedantic(
+        lambda: figure_10(
+            benchmark="c", d_values=(1, 2, 5, 10, 20), n_instances=6, m=8
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    record_result(result)
+    medians = {row[0]: row[2] for row in result.rows}
+    assert medians[20] <= medians[1]

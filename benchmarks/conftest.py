@@ -1,0 +1,35 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark prints the same rows/series the paper's figure reports
+(scaled down — see EXPERIMENTS.md) and saves them under
+``benchmarks/results/``.  The pytest-benchmark fixture times one
+representative unit of work per figure.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.evaluation.harness import format_table
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def record_result(capsys):
+    """Print an ExperimentResult table and save it to benchmarks/results/."""
+
+    def _record(result):
+        table = format_table(result.headers, result.rows)
+        text = f"== {result.experiment} ==\n{table}\n"
+        if result.notes:
+            text += f"notes: {result.notes}\n"
+        with capsys.disabled():
+            print("\n" + text)
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{result.experiment}.txt").write_text(text)
+        return result
+
+    return _record

@@ -1,0 +1,104 @@
+"""Estimating rare preference events: RS vs IS-AMP vs MIS-AMP.
+
+Reproduces the Section 5 narrative of the paper on a single model:
+
+1. the event ``sigma_m > sigma_1`` under ``MAL(sigma, 0.1)`` is
+   exponentially rare in m, so rejection sampling burns through samples;
+2. IS-AMP fixes the sampling efficiency but mis-weights multi-modal
+   posteriors (the paper's Example 5.1);
+3. MIS-AMP centers one AMP proposal per greedy modal (Algorithm 5) and
+   recovers the exact value.
+
+Everything is checked against exact values from the two-label solver.
+
+Run:  python examples/rare_events.py
+"""
+
+import time
+
+import numpy as np
+
+from repro.approx.is_amp import is_amp_estimate
+from repro.approx.mis import mis_amp_estimate
+from repro.approx.modals import greedy_modals
+from repro.patterns.labels import Labeling
+from repro.patterns.pattern import LabelPattern, PatternNode
+from repro.rankings.subranking import SubRanking
+from repro.rim.mallows import Mallows
+from repro.rim.sampling import rejection_estimate
+from repro.solvers.two_label import two_label_probability
+
+
+def last_above_first_pattern():
+    low = PatternNode("l", frozenset({"last"}))
+    high = PatternNode("r", frozenset({"first"}))
+    return LabelPattern([(low, high)])
+
+
+def main() -> None:
+    rng = np.random.default_rng(42)
+    print("Event: sigma_m preferred to sigma_1 under MAL(sigma, 0.1)")
+    print()
+    print(f"{'m':>3} {'exact':>12} {'RS(20k)':>12} {'IS-AMP':>12} {'MIS-AMP':>12}")
+    for m in (4, 6, 8):
+        items = list(range(m))
+        model = Mallows(items, 0.1)
+        labeling = Labeling({0: {"first"}, m - 1: {"last"}})
+        pattern = last_above_first_pattern()
+        exact = two_label_probability(model, labeling, pattern).probability
+        psi = SubRanking([m - 1, 0])
+
+        rs = rejection_estimate(
+            model, psi.is_consistent_with, 20_000, rng
+        ).estimate
+        is_amp = is_amp_estimate(model, psi, 3000, rng).estimate
+        mis = mis_amp_estimate(model, psi, 1500, rng).estimate
+        print(
+            f"{m:>3} {exact:>12.3e} {rs:>12.3e} {is_amp:>12.3e} {mis:>12.3e}"
+        )
+    print("(RS returns 0 once the event stops appearing in 20k samples;")
+    print(" the importance samplers keep tracking it.)")
+    print()
+
+    # ------------------------------------------------------------------
+    # The paper's Example 5.1 / 5.2: a multi-modal posterior.
+    # ------------------------------------------------------------------
+    model = Mallows(["s1", "s2", "s3"], 0.01)
+    psi = SubRanking(["s3", "s1"])
+    exact = sum(
+        p for tau, p in model.enumerate_support() if psi.is_consistent_with(tau)
+    )
+    modals = greedy_modals(psi, model.sigma)
+    print("Example 5.1/5.2 of the paper: psi = <s3, s1>, MAL(<s1,s2,s3>, 0.01)")
+    print(f"  greedy modals found: {[list(r.items) for r in modals]}")
+    is_amp = is_amp_estimate(model, psi, 4000, rng).estimate
+    mis = mis_amp_estimate(model, psi, 2000, rng).estimate
+    print(f"  exact   = {exact:.3e}")
+    print(f"  IS-AMP  = {is_amp:.3e}   (biased: single-mode proposal)")
+    print(f"  MIS-AMP = {mis:.3e}   (balance heuristic over both modes)")
+    print()
+
+    # ------------------------------------------------------------------
+    # Timing: RS with an optimistic stopping rule vs a fixed MIS budget.
+    # ------------------------------------------------------------------
+    print("Wall-clock comparison at m = 8:")
+    model = Mallows(list(range(8)), 0.1)
+    psi = SubRanking([7, 0])
+    started = time.perf_counter()
+    mis = mis_amp_estimate(model, psi, 1500, rng)
+    mis_seconds = time.perf_counter() - started
+    started = time.perf_counter()
+    rs = rejection_estimate(model, psi.is_consistent_with, 100_000, rng)
+    rs_seconds = time.perf_counter() - started
+    print(
+        f"  MIS-AMP: {mis.estimate:.3e} in {mis_seconds:.2f}s "
+        f"({mis.n_samples} weighted samples)"
+    )
+    print(
+        f"  RS:      {rs.estimate:.3e} in {rs_seconds:.2f}s "
+        f"({rs.n_hits} hits out of {rs.n_samples})"
+    )
+
+
+if __name__ == "__main__":
+    main()

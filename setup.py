@@ -1,0 +1,6 @@
+"""Legacy setup shim: enables `pip install -e .` in offline environments
+where the `wheel` package (needed for PEP 660 editable builds) is absent."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,135 @@
+"""Command-line entry point: reproduce a paper figure or run the demo.
+
+Usage::
+
+    python -m repro list                 # available experiments
+    python -m repro figure 5             # run Figure 5 at default scale
+    python -m repro figure 10a --fast    # quick, smaller parameters
+    python -m repro demo                 # the quickstart walkthrough
+
+Each figure command prints the same rows/series the paper's figure reports
+(see EXPERIMENTS.md for the paper-vs-measured record).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.evaluation import experiments
+from repro.evaluation.harness import format_table
+
+#: Experiment name -> (runner, fast-scale keyword arguments).
+EXPERIMENTS = {
+    "4": (experiments.figure_4, {"m_values": (6, 8), "sessions_per_m": 2}),
+    "5": (experiments.figure_5, {"n_unions": 2, "m": 7}),
+    "6": (
+        experiments.figure_6,
+        {"m_values": (10, 14), "patterns_per_union": (2, 3), "time_budget": 2.0},
+    ),
+    "7a": (
+        experiments.figure_7a,
+        {"m_values": (6, 8), "labels_per_pattern": (2, 3), "instances_per_cell": 1},
+    ),
+    "7b": (
+        experiments.figure_7b,
+        {"m_values": (6, 8), "patterns_per_union": (1, 2), "instances_per_cell": 1},
+    ),
+    "8": (experiments.figure_8, {"k_values": (1, 5), "n_voters": 40}),
+    "9": (
+        experiments.figure_9,
+        {"m_values": (4, 5), "repeats": 1, "rs_max_samples": 100_000},
+    ),
+    "10a": (
+        experiments.figure_10,
+        {"benchmark": "a", "d_values": (1, 5), "n_instances": 3, "m": 8},
+    ),
+    "10b": (
+        experiments.figure_10,
+        {"benchmark": "c", "d_values": (1, 5), "n_instances": 3, "m": 7},
+    ),
+    "11": (experiments.figure_11, {"d_values": (1, 5), "n_instances": 3, "m": 8}),
+    "12": (experiments.figure_12, {"n_instances": 4, "m": 7}),
+    "13a": (
+        experiments.figure_13a,
+        {"labels_per_pattern": (3, 4), "items_per_label": (3,), "m": 15},
+    ),
+    "13b": (
+        experiments.figure_13b,
+        {"m_values": (20, 50), "labels_per_pattern": (3,)},
+    ),
+    "14": (
+        experiments.figure_14,
+        {"m_values": (15, 30), "n_users": 2, "n_components": 2,
+         "n_per_proposal": 40, "max_proposals": 5},
+    ),
+    "15": (
+        experiments.figure_15,
+        {"session_counts": (10, 100), "naive_limit": 100, "n_movies": 6},
+    ),
+    "accuracy": (
+        experiments.accuracy_table,
+        {"m": 8, "n_sessions": 5, "n_voters": 15},
+    ),
+}
+
+
+def run_figure(name: str, fast: bool) -> int:
+    try:
+        runner, fast_kwargs = EXPERIMENTS[name]
+    except KeyError:
+        print(
+            f"unknown experiment {name!r}; available: "
+            f"{', '.join(sorted(EXPERIMENTS))}",
+            file=sys.stderr,
+        )
+        return 2
+    result = runner(**fast_kwargs) if fast else runner()
+    print(f"== {result.experiment} ==")
+    print(format_table(result.headers, result.rows))
+    if result.notes:
+        print(f"notes: {result.notes}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    subparsers.add_parser("list", help="list available experiments")
+    figure_parser = subparsers.add_parser(
+        "figure", help="reproduce one figure of the paper"
+    )
+    figure_parser.add_argument("name", help="figure id, e.g. 5, 10a, accuracy")
+    figure_parser.add_argument(
+        "--fast", action="store_true",
+        help="smaller parameters (seconds instead of minutes)",
+    )
+    subparsers.add_parser("demo", help="run the quickstart walkthrough")
+
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        for name in sorted(EXPERIMENTS):
+            runner, _ = EXPERIMENTS[name]
+            summary = (runner.__doc__ or "").strip().splitlines()[0]
+            print(f"{name:10s} {summary}")
+        return 0
+    if args.command == "figure":
+        return run_figure(args.name, args.fast)
+    if args.command == "demo":
+        # The examples directory is not an installed package; run the
+        # quickstart by path so `python -m repro demo` works from a clone.
+        import runpy
+        from pathlib import Path
+
+        script = Path(__file__).resolve().parents[2] / "examples" / "quickstart.py"
+        runpy.run_path(str(script), run_name="__main__")
+        return 0
+    return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

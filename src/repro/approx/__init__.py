@@ -1,0 +1,44 @@
+"""Approximate solvers (Section 5): importance sampling over Mallows.
+
+The pipeline mirrors the paper:
+
+1. :mod:`repro.approx.decompose` — a pattern union is rewritten as a union
+   of item-level partial orders (one per embedding) and then as a union of
+   sub-rankings (their linear extensions) — Section 5.2, Figure 3.
+2. :mod:`repro.approx.modals` — the greedy modal search (Algorithm 5) and
+   the greedy distance estimate (Algorithm 6).
+3. :mod:`repro.approx.is_amp` — IS-AMP: importance sampling with a single
+   AMP proposal (Section 5.3).
+4. :mod:`repro.approx.mis` — MIS-AMP: multiple importance sampling with the
+   Veach–Guibas balance heuristic over modal-centered proposals
+   (Section 5.4).
+5. :mod:`repro.approx.lite` — MIS-AMP-lite: bounded proposal selection with
+   compensation factors for the pruned sub-rankings and modals
+   (Section 5.5).
+6. :mod:`repro.approx.adaptive` — MIS-AMP-adaptive: grows the proposal
+   count until the estimate converges.
+"""
+
+from repro.approx.adaptive import mis_amp_adaptive
+from repro.approx.decompose import (
+    DecompositionLimitError,
+    pattern_partial_orders,
+    union_subrankings,
+)
+from repro.approx.is_amp import is_amp_estimate
+from repro.approx.lite import LiteWorkspace, mis_amp_lite
+from repro.approx.mis import mis_amp_estimate
+from repro.approx.modals import approximate_distance, greedy_modals
+
+__all__ = [
+    "DecompositionLimitError",
+    "pattern_partial_orders",
+    "union_subrankings",
+    "greedy_modals",
+    "approximate_distance",
+    "is_amp_estimate",
+    "mis_amp_estimate",
+    "mis_amp_lite",
+    "LiteWorkspace",
+    "mis_amp_adaptive",
+]

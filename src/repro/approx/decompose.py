@@ -1,0 +1,145 @@
+"""Pattern union → partial orders → sub-rankings (Section 5.2, Figure 3).
+
+A pattern ``g`` is satisfied by ``tau`` iff some *embedding* exists.  At the
+item level an embedding chooses, for every node, an item serving it; each
+choice induces a partial order over items (``Delta(g, lambda)``), and each
+partial order decomposes further into its linear extensions — sub-rankings
+over the constrained items (``Delta(upsilon)``).  Hence
+
+    tau |= G   iff   tau is consistent with at least one sub-ranking,
+
+which is the form the importance-sampling solvers consume: every
+sub-ranking conditions one family of AMP proposal distributions.
+
+Both decomposition steps can blow up combinatorially (the paper notes the
+number of sub-rankings is exponential); explicit limits guard against
+runaway enumeration and raise :class:`DecompositionLimitError`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Hashable, Iterator
+
+from repro.patterns.labels import Labeling
+from repro.patterns.pattern import LabelPattern, PatternNode
+from repro.rankings.partial_order import PartialOrder
+from repro.rankings.subranking import SubRanking
+from repro.solvers.base import as_union
+
+Item = Hashable
+
+#: Default caps; generous for the paper's workloads, small enough to fail
+#: fast on pathological inputs.
+DEFAULT_MAX_EMBEDDINGS = 200_000
+DEFAULT_MAX_SUBRANKINGS = 200_000
+
+
+class DecompositionLimitError(RuntimeError):
+    """Raised when a decomposition exceeds its enumeration budget."""
+
+
+def pattern_embeddings(
+    pattern: LabelPattern,
+    labeling: Labeling,
+    max_embeddings: int = DEFAULT_MAX_EMBEDDINGS,
+) -> Iterator[dict[PatternNode, Item]]:
+    """Yield all item-level embeddings (node -> serving item) of a pattern.
+
+    Assignments mapping two *comparable* nodes to the same item are skipped:
+    the induced constraint ``item > item`` is unsatisfiable.  Incomparable
+    nodes may share an item.
+    """
+    nodes = list(pattern.topological_order)
+    candidates = [sorted(labeling.items_matching(n.labels), key=repr) for n in nodes]
+    if any(not c for c in candidates):
+        return  # some node has no serving item: no embeddings
+    count = 0
+    for assignment in itertools.product(*candidates):
+        mapping = dict(zip(nodes, assignment))
+        if any(mapping[u] == mapping[v] for u, v in pattern.edges):
+            continue
+        count += 1
+        if count > max_embeddings:
+            raise DecompositionLimitError(
+                f"more than {max_embeddings} embeddings for pattern {pattern!r}"
+            )
+        yield mapping
+
+
+def embedding_partial_order(
+    pattern: LabelPattern, assignment: dict[PatternNode, Item]
+) -> PartialOrder | None:
+    """The item partial order induced by one embedding, or None if cyclic.
+
+    Items assigned to isolated nodes impose no ordering constraint and are
+    omitted (their existence is already witnessed by the assignment).
+    """
+    edges = [
+        (assignment[u], assignment[v]) for u, v in pattern.edges
+    ]
+    order = PartialOrder(edges)
+    if not order.is_acyclic():
+        return None
+    return order
+
+
+def pattern_partial_orders(
+    pattern: LabelPattern,
+    labeling: Labeling,
+    max_embeddings: int = DEFAULT_MAX_EMBEDDINGS,
+) -> list[PartialOrder]:
+    """``Delta(g, lambda)``: the deduplicated item partial orders of a pattern."""
+    orders: list[PartialOrder] = []
+    seen: set[PartialOrder] = set()
+    for assignment in pattern_embeddings(pattern, labeling, max_embeddings):
+        order = embedding_partial_order(pattern, assignment)
+        if order is None or order in seen:
+            continue
+        seen.add(order)
+        orders.append(order)
+    return orders
+
+
+def union_partial_orders(
+    union_or_pattern,
+    labeling: Labeling,
+    max_embeddings: int = DEFAULT_MAX_EMBEDDINGS,
+) -> list[PartialOrder]:
+    """Deduplicated item partial orders across all patterns of a union."""
+    union = as_union(union_or_pattern)
+    orders: list[PartialOrder] = []
+    seen: set[PartialOrder] = set()
+    for pattern in union:
+        for order in pattern_partial_orders(pattern, labeling, max_embeddings):
+            if order not in seen:
+                seen.add(order)
+                orders.append(order)
+    return orders
+
+
+def union_subrankings(
+    union_or_pattern,
+    labeling: Labeling,
+    max_embeddings: int = DEFAULT_MAX_EMBEDDINGS,
+    max_subrankings: int = DEFAULT_MAX_SUBRANKINGS,
+) -> list[SubRanking]:
+    """The full sub-ranking union equivalent to ``G`` (Figure 3 right).
+
+    A ranking satisfies ``G`` iff it is consistent with at least one of the
+    returned sub-rankings.  Duplicates arising from different partial orders
+    are removed; order of first appearance is preserved for determinism.
+    """
+    subrankings: list[SubRanking] = []
+    seen: set[tuple[Item, ...]] = set()
+    for order in union_partial_orders(union_or_pattern, labeling, max_embeddings):
+        for extension in order.linear_extensions():
+            if extension in seen:
+                continue
+            seen.add(extension)
+            subrankings.append(SubRanking(extension))
+            if len(subrankings) > max_subrankings:
+                raise DecompositionLimitError(
+                    f"more than {max_subrankings} sub-rankings in the union"
+                )
+    return subrankings

@@ -1,0 +1,40 @@
+"""IS-AMP: importance sampling with a single AMP proposal (Section 5.3).
+
+To estimate ``Pr(tau |= psi)`` under ``MAL(sigma, phi)``, IS-AMP samples
+from ``AMP(sigma, phi, psi)`` — whose samples all satisfy ``psi`` — and
+re-weights each sample ``x`` by the importance factor ``p(x) / q(x)``
+(Equation 4 of the paper).  The estimator is unbiased when the proposal
+covers the support of ``p * f``, which AMP does, but its variance explodes
+when the posterior is multi-modal and AMP concentrates on a single mode —
+Example 5.1 of the paper, reproduced in the test suite; MIS-AMP
+(:mod:`repro.approx.mis`) is the remedy.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.rankings.subranking import SubRanking
+from repro.rim.amp import AMPSampler
+from repro.rim.mallows import Mallows
+from repro.rim.sampling import EstimateResult
+
+
+def is_amp_estimate(
+    model: Mallows,
+    psi: SubRanking,
+    n_samples: int,
+    rng: np.random.Generator,
+) -> EstimateResult:
+    """Estimate ``Pr(tau |= psi | sigma, phi)`` with a single AMP proposal."""
+    if n_samples <= 0:
+        raise ValueError("n_samples must be positive")
+    proposal = AMPSampler(model, psi)
+    total = 0.0
+    for _ in range(n_samples):
+        x = proposal.sample(rng)
+        log_w = model.log_probability(x) - proposal.log_probability(x)
+        total += math.exp(log_w)
+    return EstimateResult(total / n_samples, n_samples, n_samples)

@@ -1,0 +1,146 @@
+"""Greedy modal search — Algorithms 5 and 6 of the paper.
+
+The posterior of a Mallows model conditioned on a sub-ranking ``psi`` is
+multi-modal: its modes (*modals*) are the completions of ``psi`` closest in
+Kendall-tau distance to the center ``sigma``.  Finding the closest
+completion of a partial order is intractable (Brandenburg et al.), so the
+paper uses a greedy heuristic: insert the missing items of ``sigma`` into
+``psi`` one by one, each at the position(s) minimizing the disagreement
+with ``sigma``.
+
+* :func:`greedy_modals` (Algorithm 5) keeps *all* argmin positions at each
+  step, producing a set of candidate modals — the centers of the MIS-AMP
+  proposal distributions.
+* :func:`approximate_distance` (Algorithm 6) keeps a single argmin,
+  producing the greedy distance estimate used to rank sub-rankings in
+  MIS-AMP-lite.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Sequence
+
+from repro.rankings.kendall import kendall_tau
+from repro.rankings.permutation import Ranking
+from repro.rankings.subranking import SubRanking
+
+Item = Hashable
+
+#: Safety cap on the modal set: ties at every step can multiply candidates
+#: exponentially; the paper does not bound them, but a runaway set of
+#: near-identical modals adds no estimation value.
+DEFAULT_MAX_MODALS = 256
+
+
+def _insertion_costs(
+    candidate: tuple[Item, ...], item: Item, sigma_rank: dict[Item, int]
+) -> list[int]:
+    """Added disagreement with sigma for inserting ``item`` at each slot.
+
+    ``costs[j - 1]`` is the number of newly discordant pairs when ``item``
+    enters position ``j`` of ``candidate`` (1-based, ``j in 1..k+1``):
+    predecessors ranked below the item by sigma plus successors ranked
+    above it.  Computed for all slots in O(k).
+    """
+    item_rank = sigma_rank[item]
+    ranks = [sigma_rank[existing] for existing in candidate]
+    # Position 1: every existing item is a successor.
+    cost = sum(1 for r in ranks if r < item_rank)
+    costs = [cost]
+    for r in ranks:
+        # Moving the boundary one step right turns one successor into a
+        # predecessor.
+        if r > item_rank:
+            cost += 1
+        elif r < item_rank:
+            cost -= 1
+        costs.append(cost)
+    return costs
+
+
+def greedy_modals(
+    psi: SubRanking | Sequence[Item],
+    sigma: Ranking,
+    max_modals: int = DEFAULT_MAX_MODALS,
+) -> list[Ranking]:
+    """Algorithm 5: greedy search for the modals of the posterior of ``psi``.
+
+    Starting from the sub-ranking, the missing items of ``sigma`` are
+    inserted in reference order; at each step every candidate branches into
+    all positions minimizing the added disagreement with ``sigma``.  Returns
+    complete rankings (every item of ``sigma`` present), deduplicated, in
+    deterministic order, capped at ``max_modals``.
+    """
+    base = tuple(psi.items) if isinstance(psi, SubRanking) else tuple(psi)
+    sigma_rank = {item: i for i, item in enumerate(sigma.items)}
+    missing = [item for item in base if item not in sigma_rank]
+    if missing:
+        raise KeyError(f"sub-ranking items not in sigma: {missing!r}")
+
+    candidates: list[tuple[Item, ...]] = [base]
+    present = set(base)
+    for item in sigma.items:
+        if item in present:
+            continue
+        next_candidates: list[tuple[Item, ...]] = []
+        seen: set[tuple[Item, ...]] = set()
+        for candidate in candidates:
+            costs = _insertion_costs(candidate, item, sigma_rank)
+            best = min(costs)
+            for j, cost in enumerate(costs, start=1):
+                if cost != best:
+                    continue
+                grown = candidate[: j - 1] + (item,) + candidate[j - 1 :]
+                if grown not in seen:
+                    seen.add(grown)
+                    next_candidates.append(grown)
+        if len(next_candidates) > max_modals:
+            # Deterministic truncation: prefer candidates closest to sigma.
+            next_candidates.sort(
+                key=lambda c: (kendall_tau_partial(c, sigma_rank), c)
+            )
+            next_candidates = next_candidates[:max_modals]
+        candidates = next_candidates
+    return [Ranking(candidate) for candidate in candidates]
+
+
+def kendall_tau_partial(
+    candidate: Sequence[Item], sigma_rank: dict[Item, int]
+) -> int:
+    """Disagreement of a (partial) candidate with sigma, O(k^2) pairs."""
+    ranks = [sigma_rank[item] for item in candidate]
+    return sum(
+        1
+        for i in range(len(ranks))
+        for j in range(i + 1, len(ranks))
+        if ranks[i] > ranks[j]
+    )
+
+
+def approximate_distance(
+    psi: SubRanking | Sequence[Item], sigma: Ranking
+) -> int:
+    """Algorithm 6: greedy estimate of the distance from ``psi`` to ``sigma``.
+
+    Completes ``psi`` greedily (single argmin position per insertion) and
+    returns the Kendall-tau distance of the completion from ``sigma`` — an
+    upper bound on the distance of the true closest completion.
+    """
+    return kendall_tau(greedy_completion(psi, sigma), sigma)
+
+
+def greedy_completion(
+    psi: SubRanking | Sequence[Item], sigma: Ranking
+) -> Ranking:
+    """The single greedy completion used by :func:`approximate_distance`."""
+    base = tuple(psi.items) if isinstance(psi, SubRanking) else tuple(psi)
+    sigma_rank = {item: i for i, item in enumerate(sigma.items)}
+    candidate = base
+    present = set(base)
+    for item in sigma.items:
+        if item in present:
+            continue
+        costs = _insertion_costs(candidate, item, sigma_rank)
+        j = min(range(1, len(costs) + 1), key=lambda pos: costs[pos - 1])
+        candidate = candidate[: j - 1] + (item,) + candidate[j - 1 :]
+    return Ranking(candidate)

@@ -1,0 +1,29 @@
+"""Dataset and benchmark generators (Section 6.1 of the paper).
+
+Synthetic benchmarks A-D exactly follow the paper's construction; the
+Polls database mirrors the paper's 2016-election generator; MovieLens and
+CrowdRank are *simulated* stand-ins for the paper's real datasets (see
+DESIGN.md, Substitutions 2-3).
+"""
+
+from repro.datasets.benchmarks import (
+    BenchmarkInstance,
+    benchmark_a,
+    benchmark_b,
+    benchmark_c,
+    benchmark_d,
+)
+from repro.datasets.crowdrank import crowdrank_database
+from repro.datasets.movielens import movielens_database
+from repro.datasets.polls import polls_database
+
+__all__ = [
+    "BenchmarkInstance",
+    "benchmark_a",
+    "benchmark_b",
+    "benchmark_c",
+    "benchmark_d",
+    "polls_database",
+    "movielens_database",
+    "crowdrank_database",
+]

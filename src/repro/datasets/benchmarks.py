@@ -1,0 +1,368 @@
+"""Synthetic benchmarks A-D (Section 6.1 of the paper).
+
+Each generator yields :class:`BenchmarkInstance` objects bundling a Mallows
+model, a labeling, a pattern union, and the generating parameters.  Sizes
+default to the paper's but every dimension is overridable, because the
+paper's largest instances take the authors' 48-core machine hours — the
+benchmark harness runs scaled-down sweeps with identical structure (see
+EXPERIMENTS.md).
+
+* **Benchmark-A** — 33 unions of 3 bipartite patterns ``{A>C, A>D, B>D}``
+  over ``MAL(sigma, 0.1)`` with ``m = 15``; labels A/B draw items biased
+  toward the *bottom* of the reference ranking (``p_i ∝ i^1.5``) and C/D
+  toward the *top* (``p_i ∝ (m+1-i)^1.5``), so the unions have low
+  probability — the accuracy stress test for the approximate solvers.
+* **Benchmark-B** — general pattern unions with varying number of patterns,
+  labels per pattern, and items per label; patterns within a union share a
+  random partial order of label nodes.  Scalability test for approximate
+  solvers (m up to 200).
+* **Benchmark-C** — unions of bipartite patterns over small models
+  (m in 10..16); scalability test for the bipartite solver.
+* **Benchmark-D** — unions of two-label patterns over ``MAL(sigma, 0.5)``
+  (m in 20..60); scalability test for the two-label solver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.patterns.labels import Labeling
+from repro.patterns.pattern import LabelPattern, PatternNode
+from repro.patterns.union import PatternUnion
+from repro.rim.mallows import Mallows
+
+
+@dataclass(frozen=True)
+class BenchmarkInstance:
+    """One benchmark unit of work: a model, a labeling, and a union."""
+
+    name: str
+    model: Mallows
+    labeling: Labeling
+    union: PatternUnion
+    params: dict = field(default_factory=dict)
+
+    def __repr__(self) -> str:
+        return (
+            f"BenchmarkInstance({self.name}, m={self.model.m}, "
+            f"z={self.union.z}, params={self.params})"
+        )
+
+
+def _power_law_sample(
+    rng: np.random.Generator,
+    m: int,
+    k: int,
+    exponent: float,
+    ascending: bool,
+) -> list[int]:
+    """Sample ``k`` distinct item indices (0-based) with power-law weights.
+
+    ``ascending=True`` biases toward high indices (items late in the
+    reference ranking, i.e. low ranks): ``p_i ∝ i^exponent`` over 1-based
+    ``i``; ``ascending=False`` uses ``p_i ∝ (m + 1 - i)^exponent``.
+    """
+    positions = np.arange(1, m + 1, dtype=float)
+    weights = positions**exponent if ascending else (m + 1 - positions) ** exponent
+    weights = weights / weights.sum()
+    chosen = rng.choice(m, size=k, replace=False, p=weights)
+    return sorted(int(c) for c in chosen)
+
+
+# ----------------------------------------------------------------------
+# Benchmark-A
+# ----------------------------------------------------------------------
+
+
+def benchmark_a(
+    n_unions: int = 33,
+    m: int = 15,
+    items_per_label: int = 3,
+    phi: float = 0.1,
+    exponent: float = 1.5,
+    seed: int = 20200316,
+) -> list[BenchmarkInstance]:
+    """Benchmark-A: low-probability unions of 3 bipartite patterns.
+
+    Every union has patterns ``{A_k > C_k, A_k > D, B > D}`` for
+    ``k = 0, 1, 2``: the B and D labels (and their items) are shared across
+    the union's patterns, while each pattern gets fresh A and C labels —
+    the structure described in Section 6.1.
+    """
+    rng = np.random.default_rng(seed)
+    items = list(range(m))
+    model = Mallows(items, phi)
+    instances = []
+    for u in range(n_unions):
+        label_items: dict[str, list[int]] = {}
+        label_items["B"] = _power_law_sample(
+            rng, m, items_per_label, exponent, ascending=True
+        )
+        label_items["D"] = _power_law_sample(
+            rng, m, items_per_label, exponent, ascending=False
+        )
+        patterns = []
+        for k in range(3):
+            label_items[f"A{k}"] = _power_law_sample(
+                rng, m, items_per_label, exponent, ascending=True
+            )
+            label_items[f"C{k}"] = _power_law_sample(
+                rng, m, items_per_label, exponent, ascending=False
+            )
+            node_a = PatternNode(f"A{k}", frozenset({f"A{k}"}))
+            node_b = PatternNode("B", frozenset({"B"}))
+            node_c = PatternNode(f"C{k}", frozenset({f"C{k}"}))
+            node_d = PatternNode("D", frozenset({"D"}))
+            patterns.append(
+                LabelPattern(
+                    [(node_a, node_c), (node_a, node_d), (node_b, node_d)]
+                )
+            )
+        mapping: dict[int, set[str]] = {item: set() for item in items}
+        for label, members in label_items.items():
+            for item in members:
+                mapping[item].add(label)
+        instances.append(
+            BenchmarkInstance(
+                name=f"benchmark_a[{u}]",
+                model=model,
+                labeling=Labeling(mapping),
+                union=PatternUnion(patterns),
+                params={
+                    "m": m,
+                    "phi": phi,
+                    "items_per_label": items_per_label,
+                    "union_index": u,
+                },
+            )
+        )
+    return instances
+
+
+# ----------------------------------------------------------------------
+# Shared helpers for Benchmarks B/C/D
+# ----------------------------------------------------------------------
+
+
+def _assign_label_items(
+    rng: np.random.Generator, m: int, labels: Sequence[str], items_per_label: int
+) -> dict[int, set[str]]:
+    """Assign ``items_per_label`` uniformly random distinct items per label."""
+    mapping: dict[int, set[str]] = {item: set() for item in range(m)}
+    for label in labels:
+        for item in rng.choice(m, size=items_per_label, replace=False):
+            mapping[int(item)].add(label)
+    return mapping
+
+
+def _random_dag_edges(
+    rng: np.random.Generator, n_nodes: int, edge_probability: float = 0.5
+) -> list[tuple[int, int]]:
+    """A random DAG over ``n_nodes`` with no isolated node."""
+    edges = [
+        (a, b)
+        for a in range(n_nodes)
+        for b in range(a + 1, n_nodes)
+        if rng.random() < edge_probability
+    ]
+    involved = {x for edge in edges for x in edge}
+    for node in range(n_nodes):
+        if node not in involved:
+            other = int(rng.integers(0, n_nodes - 1))
+            if other >= node:
+                other += 1
+            edges.append((min(node, other), max(node, other)))
+            involved.update((node, other))
+    return sorted(set(edges))
+
+
+def _random_bipartite_edges(
+    rng: np.random.Generator, n_nodes: int
+) -> tuple[list[int], list[int], list[tuple[int, int]]]:
+    """A random bipartite orientation over ``n_nodes`` with no isolated node."""
+    n_left = max(1, n_nodes // 2)
+    left = list(range(n_left))
+    right = list(range(n_left, n_nodes))
+    edges = [
+        (a, b)
+        for a in left
+        for b in right
+        if rng.random() < 0.5
+    ]
+    for a in left:
+        if not any(edge[0] == a for edge in edges):
+            edges.append((a, int(rng.choice(right))))
+    for b in right:
+        if not any(edge[1] == b for edge in edges):
+            edges.append((int(rng.choice(left)), b))
+    return left, right, sorted(set(edges))
+
+
+# ----------------------------------------------------------------------
+# Benchmark-B
+# ----------------------------------------------------------------------
+
+
+def benchmark_b(
+    m_values: Sequence[int] = (20, 50, 100, 200),
+    patterns_per_union: Sequence[int] = (1, 2, 3),
+    labels_per_pattern: Sequence[int] = (3, 4, 5),
+    items_per_label: Sequence[int] = (3, 5, 7),
+    instances_per_combo: int = 10,
+    phi: float = 0.1,
+    seed: int = 20200317,
+) -> Iterator[BenchmarkInstance]:
+    """Benchmark-B: general pattern unions (paper default: 1080 instances).
+
+    Patterns within a union share one random partial order of label nodes;
+    each pattern instantiates its own labels (and items) on that shape.
+    """
+    rng = np.random.default_rng(seed)
+    for m in m_values:
+        model = Mallows(list(range(m)), phi)
+        for z in patterns_per_union:
+            for q in labels_per_pattern:
+                for ipl in items_per_label:
+                    for rep in range(instances_per_combo):
+                        shape = _random_dag_edges(rng, q)
+                        patterns = []
+                        all_labels: list[str] = []
+                        for k in range(z):
+                            labels = [f"L{k}_{j}" for j in range(q)]
+                            all_labels.extend(labels)
+                            nodes = [
+                                PatternNode(labels[j], frozenset({labels[j]}))
+                                for j in range(q)
+                            ]
+                            patterns.append(
+                                LabelPattern(
+                                    [(nodes[a], nodes[b]) for a, b in shape],
+                                    nodes=nodes,
+                                )
+                            )
+                        mapping = _assign_label_items(rng, m, all_labels, ipl)
+                        yield BenchmarkInstance(
+                            name=f"benchmark_b[m={m},z={z},q={q},ipl={ipl},rep={rep}]",
+                            model=model,
+                            labeling=Labeling(mapping),
+                            union=PatternUnion(patterns),
+                            params={
+                                "m": m,
+                                "z": z,
+                                "labels_per_pattern": q,
+                                "items_per_label": ipl,
+                                "rep": rep,
+                                "phi": phi,
+                            },
+                        )
+
+
+# ----------------------------------------------------------------------
+# Benchmark-C
+# ----------------------------------------------------------------------
+
+
+def benchmark_c(
+    m_values: Sequence[int] = (10, 12, 14, 16),
+    patterns_per_union: Sequence[int] = (1, 2, 3),
+    labels_per_pattern: Sequence[int] = (2, 3, 4),
+    items_per_label: Sequence[int] = (1, 3, 5),
+    instances_per_combo: int = 10,
+    phi: float = 0.1,
+    seed: int = 20200318,
+) -> Iterator[BenchmarkInstance]:
+    """Benchmark-C: unions of bipartite patterns (paper default: 1080).
+
+    Patterns within a union share one random bipartite label DAG.
+    """
+    rng = np.random.default_rng(seed)
+    for m in m_values:
+        model = Mallows(list(range(m)), phi)
+        for z in patterns_per_union:
+            for q in labels_per_pattern:
+                for ipl in items_per_label:
+                    for rep in range(instances_per_combo):
+                        _, _, shape = _random_bipartite_edges(rng, q)
+                        patterns = []
+                        all_labels: list[str] = []
+                        for k in range(z):
+                            labels = [f"L{k}_{j}" for j in range(q)]
+                            all_labels.extend(labels)
+                            nodes = [
+                                PatternNode(labels[j], frozenset({labels[j]}))
+                                for j in range(q)
+                            ]
+                            patterns.append(
+                                LabelPattern(
+                                    [(nodes[a], nodes[b]) for a, b in shape]
+                                )
+                            )
+                        mapping = _assign_label_items(rng, m, all_labels, ipl)
+                        yield BenchmarkInstance(
+                            name=f"benchmark_c[m={m},z={z},q={q},ipl={ipl},rep={rep}]",
+                            model=model,
+                            labeling=Labeling(mapping),
+                            union=PatternUnion(patterns),
+                            params={
+                                "m": m,
+                                "z": z,
+                                "labels_per_pattern": q,
+                                "items_per_label": ipl,
+                                "rep": rep,
+                                "phi": phi,
+                            },
+                        )
+
+
+# ----------------------------------------------------------------------
+# Benchmark-D
+# ----------------------------------------------------------------------
+
+
+def benchmark_d(
+    m_values: Sequence[int] = (20, 30, 40, 50, 60),
+    patterns_per_union: Sequence[int] = (2, 3, 4, 5),
+    items_per_label: Sequence[int] = (3, 5, 7),
+    instances_per_combo: int = 10,
+    phi: float = 0.5,
+    seed: int = 20200319,
+) -> Iterator[BenchmarkInstance]:
+    """Benchmark-D: unions of randomly generated two-label patterns."""
+    rng = np.random.default_rng(seed)
+    for m in m_values:
+        model = Mallows(list(range(m)), phi)
+        for z in patterns_per_union:
+            for ipl in items_per_label:
+                for rep in range(instances_per_combo):
+                    patterns = []
+                    all_labels: list[str] = []
+                    for k in range(z):
+                        left, right = f"L{k}", f"R{k}"
+                        all_labels.extend((left, right))
+                        patterns.append(
+                            LabelPattern(
+                                [
+                                    (
+                                        PatternNode(left, frozenset({left})),
+                                        PatternNode(right, frozenset({right})),
+                                    )
+                                ]
+                            )
+                        )
+                    mapping = _assign_label_items(rng, m, all_labels, ipl)
+                    yield BenchmarkInstance(
+                        name=f"benchmark_d[m={m},z={z},ipl={ipl},rep={rep}]",
+                        model=model,
+                        labeling=Labeling(mapping),
+                        union=PatternUnion(patterns),
+                        params={
+                            "m": m,
+                            "z": z,
+                            "items_per_label": ipl,
+                            "rep": rep,
+                            "phi": phi,
+                        },
+                    )

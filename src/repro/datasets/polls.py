@@ -1,0 +1,96 @@
+"""The Polls synthetic database (Section 6.1), modeled on the 2016 election.
+
+Generation follows the paper: candidate attributes party (2 values), sex
+(2), region (6), education (6) and age (6 ten-year brackets from 20 to 70);
+1000 voters fall into 72 demographic groups (sex x age x edu); each group
+gets 9 distinct Mallows models (3 random reference rankings x 3 dispersions
+{0.2, 0.5, 0.8}); each voter is assigned a random model from her group and
+one of two poll dates.
+
+Every dimension is parameterized so the Figure 4 sweep (20..30 candidates)
+and the Figure 8 top-k experiment (16 candidates) can build the right
+instance sizes.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.db.database import PPDatabase
+from repro.db.schema import ORelation, PRelation
+from repro.rankings.permutation import Ranking
+from repro.rim.mallows import Mallows
+
+PARTIES = ("D", "R")
+SEXES = ("F", "M")
+REGIONS = ("NE", "S", "MW", "W", "SW", "NW")
+EDUCATIONS = ("HS", "BA", "BS", "MS", "JD", "PhD")
+AGES = (20, 30, 40, 50, 60, 70)
+DATES = ("5/5", "6/5")
+
+
+def polls_database(
+    n_candidates: int = 30,
+    n_voters: int = 1000,
+    phis: Sequence[float] = (0.2, 0.5, 0.8),
+    rankings_per_group: int = 3,
+    seed: int = 20160508,
+) -> PPDatabase:
+    """Build the Polls RIM-PPD.
+
+    Relations: ``C`` (candidates), ``V`` (voters), ``P`` (polls; sessions
+    keyed by ``(voter, date)``).
+    """
+    rng = np.random.default_rng(seed)
+    candidates = [f"cand{i:02d}" for i in range(n_candidates)]
+
+    candidate_rows = []
+    for candidate in candidates:
+        candidate_rows.append(
+            (
+                candidate,
+                PARTIES[int(rng.integers(len(PARTIES)))],
+                SEXES[int(rng.integers(len(SEXES)))],
+                int(AGES[int(rng.integers(len(AGES)))]),
+                EDUCATIONS[int(rng.integers(len(EDUCATIONS)))],
+                REGIONS[int(rng.integers(len(REGIONS)))],
+            )
+        )
+    candidates_relation = ORelation(
+        "C", ["candidate", "party", "sex", "age", "edu", "reg"], candidate_rows
+    )
+
+    # 72 demographic groups: sex x age x edu; 9 models per group by default.
+    group_models: dict[tuple, list[Mallows]] = {}
+    for sex in SEXES:
+        for age in AGES:
+            for edu in EDUCATIONS:
+                models = []
+                for _ in range(rankings_per_group):
+                    center = list(candidates)
+                    rng.shuffle(center)
+                    for phi in phis:
+                        models.append(Mallows(Ranking(center), phi))
+                group_models[(sex, age, edu)] = models
+
+    voter_rows = []
+    sessions = {}
+    for v in range(n_voters):
+        voter = f"voter{v:04d}"
+        sex = SEXES[int(rng.integers(len(SEXES)))]
+        age = int(AGES[int(rng.integers(len(AGES)))])
+        edu = EDUCATIONS[int(rng.integers(len(EDUCATIONS)))]
+        voter_rows.append((voter, sex, age, edu))
+        models = group_models[(sex, age, edu)]
+        model = models[int(rng.integers(len(models)))]
+        date = DATES[int(rng.integers(len(DATES)))]
+        sessions[(voter, date)] = model
+    voters_relation = ORelation("V", ["voter", "sex", "age", "edu"], voter_rows)
+    polls_relation = PRelation("P", ["voter", "date"], sessions)
+
+    return PPDatabase(
+        orelations=[candidates_relation, voters_relation],
+        prelations=[polls_relation],
+    )

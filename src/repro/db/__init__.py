@@ -1,0 +1,13 @@
+"""RIM-PPD: the probabilistic preference database (Sections 1 and 3.1).
+
+An instance couples ordinary relations (*o-relations*) with preference
+relations (*p-relations*) whose tuples carry statistical ranking models.
+Semantically a RIM-PPD is a probabilistic database: each possible world
+samples one ranking per session from its model.
+"""
+
+from repro.db.database import PPDatabase
+from repro.db.examples import polling_example
+from repro.db.schema import ORelation, PRelation
+
+__all__ = ["ORelation", "PRelation", "PPDatabase", "polling_example"]

@@ -1,0 +1,126 @@
+"""The RIM-PPD instance: o-relations plus p-relations, with world sampling.
+
+Semantically a RIM-PPD is a probabilistic database over possible worlds: a
+world draws one ranking per session independently from its model
+(Section 1 of the paper).  :meth:`PPDatabase.sample_world` implements that
+semantics directly; the test suite uses it to validate query evaluation
+end-to-end by Monte Carlo.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Mapping
+
+import numpy as np
+
+from repro.db.schema import ORelation, PRelation, SessionKey
+from repro.rankings.permutation import Ranking
+
+Item = Hashable
+
+
+class PPDatabase:
+    """A probabilistic preference database instance."""
+
+    def __init__(
+        self,
+        orelations: Iterable[ORelation] = (),
+        prelations: Iterable[PRelation] = (),
+    ):
+        self.orelations: dict[str, ORelation] = {}
+        for relation in orelations:
+            if relation.name in self.orelations:
+                raise ValueError(f"duplicate o-relation {relation.name!r}")
+            self.orelations[relation.name] = relation
+        self.prelations: dict[str, PRelation] = {}
+        for relation in prelations:
+            if relation.name in self.prelations:
+                raise ValueError(f"duplicate p-relation {relation.name!r}")
+            if relation.name in self.orelations:
+                raise ValueError(
+                    f"name {relation.name!r} used by both an o- and a p-relation"
+                )
+            self.prelations[relation.name] = relation
+
+    def orelation(self, name: str) -> ORelation:
+        try:
+            return self.orelations[name]
+        except KeyError:
+            raise KeyError(f"no o-relation named {name!r}") from None
+
+    def prelation(self, name: str) -> PRelation:
+        try:
+            return self.prelations[name]
+        except KeyError:
+            raise KeyError(f"no p-relation named {name!r}") from None
+
+    def __repr__(self) -> str:
+        return (
+            f"PPDatabase(o={sorted(self.orelations)}, "
+            f"p={sorted(self.prelations)})"
+        )
+
+    # ------------------------------------------------------------------
+    # Possible-world semantics
+    # ------------------------------------------------------------------
+
+    def sample_world(
+        self, rng: np.random.Generator
+    ) -> dict[tuple[str, SessionKey], Ranking]:
+        """Draw one possible world: a ranking per (p-relation, session)."""
+        world: dict[tuple[str, SessionKey], Ranking] = {}
+        for name, prelation in sorted(self.prelations.items()):
+            for key in prelation.session_keys():
+                world[(name, key)] = prelation.model_of(key).sample(rng)
+        return world
+
+    # ------------------------------------------------------------------
+    # Item attribute lookups (used by the query compiler's labeling)
+    # ------------------------------------------------------------------
+
+    def item_satisfies(
+        self,
+        item: Item,
+        relation_name: str,
+        equalities: Mapping[int, Hashable],
+        predicates: Iterable[tuple[int, str, Hashable]] = (),
+        same_value_pairs: Iterable[tuple[int, int]] = (),
+    ) -> bool:
+        """Does some row of the o-relation witness the item's conditions?
+
+        The item is matched against the relation's *first* column (the item
+        identifier, by convention).  ``equalities`` maps column positions to
+        required values; ``predicates`` are ``(position, op, value)`` with
+        op in <, <=, >, >=, !=; ``same_value_pairs`` require two columns of
+        the same row to agree (intra-atom repeated variables).
+        """
+        relation = self.orelation(relation_name)
+        for row in relation.rows:
+            if row[0] != item:
+                continue
+            if not all(row[pos] == val for pos, val in equalities.items()):
+                continue
+            if not all(
+                _compare(row[pos], op, val) for pos, op, val in predicates
+            ):
+                continue
+            if not all(row[a] == row[b] for a, b in same_value_pairs):
+                continue
+            return True
+        return False
+
+
+def _compare(left, op: str, right) -> bool:
+    if op == "<":
+        return left < right
+    if op == "<=":
+        return left <= right
+    if op == ">":
+        return left > right
+    if op == ">=":
+        return left >= right
+    if op == "!=":
+        return left != right
+    if op == "=":
+        return left == right
+    raise ValueError(f"unsupported comparison operator {op!r}")

@@ -1,0 +1,59 @@
+"""The Figure 1 polling database, reproduced verbatim.
+
+Used throughout the documentation, the examples, and the test suite: the
+paper's running example with candidates Trump, Clinton, Sanders and Rubio,
+voters Ann, Bob and Dave, and three Mallows sessions.
+"""
+
+from __future__ import annotations
+
+from repro.db.database import PPDatabase
+from repro.db.schema import ORelation, PRelation
+from repro.rim.mallows import Mallows
+
+
+def polling_example() -> PPDatabase:
+    """The RIM-PPD instance of Figure 1 of the paper.
+
+    Relations:
+
+    * ``C`` (Candidates): candidate, party, sex, age, edu, reg
+    * ``V`` (Voters): voter, sex, age, edu
+    * ``P`` (Polls): sessions keyed by (voter, date), each with a Mallows
+      model over the four candidates.
+    """
+    candidates = ORelation(
+        "C",
+        ["candidate", "party", "sex", "age", "edu", "reg"],
+        [
+            ("Trump", "R", "M", 70, "BS", "NE"),
+            ("Clinton", "D", "F", 69, "JD", "NE"),
+            ("Sanders", "D", "M", 75, "BS", "NE"),
+            ("Rubio", "R", "M", 45, "JD", "S"),
+        ],
+    )
+    voters = ORelation(
+        "V",
+        ["voter", "sex", "age", "edu"],
+        [
+            ("Ann", "F", 20, "BS"),
+            ("Bob", "M", 30, "BS"),
+            ("Dave", "M", 50, "MS"),
+        ],
+    )
+    polls = PRelation(
+        "P",
+        ["voter", "date"],
+        {
+            ("Ann", "5/5"): Mallows(
+                ["Clinton", "Sanders", "Rubio", "Trump"], 0.3
+            ),
+            ("Bob", "5/5"): Mallows(
+                ["Trump", "Rubio", "Sanders", "Clinton"], 0.3
+            ),
+            ("Dave", "6/5"): Mallows(
+                ["Clinton", "Sanders", "Rubio", "Trump"], 0.5
+            ),
+        },
+    )
+    return PPDatabase(orelations=[candidates, voters], prelations=[polls])

@@ -1,0 +1,25 @@
+"""Experiment harness: timing, error statistics, and per-figure runners.
+
+:mod:`repro.evaluation.harness` provides the shared utilities (timers,
+relative errors, ASCII tables); :mod:`repro.evaluation.experiments`
+implements one runner per table/figure of the paper's Section 6, each
+returning structured rows that the ``benchmarks/`` suite prints and saves.
+"""
+
+from repro.evaluation.harness import (
+    Timer,
+    format_table,
+    geometric_mean,
+    percentile,
+    relative_error,
+    save_text,
+)
+
+__all__ = [
+    "Timer",
+    "relative_error",
+    "percentile",
+    "geometric_mean",
+    "format_table",
+    "save_text",
+]

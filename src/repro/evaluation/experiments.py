@@ -1,0 +1,57 @@
+"""One runner per table/figure of the paper's evaluation (Section 6).
+
+Thin aggregation module: the exact-solver experiments (Figures 4-8) live in
+:mod:`repro.evaluation.experiments_exact`, the approximate-solver and
+scalability experiments (Figures 9-15, the Section 6.2 accuracy table) in
+:mod:`repro.evaluation.experiments_approx`.  Every runner returns an
+:class:`~repro.evaluation.experiments_exact.ExperimentResult` whose rows the
+benchmark suite prints via :func:`repro.evaluation.harness.format_table`.
+"""
+
+from repro.evaluation.experiments_exact import (
+    ExperimentResult,
+    FIG4_QUERY,
+    FIG8_QUERY,
+    figure_4,
+    figure_5,
+    figure_6,
+    figure_7a,
+    figure_7b,
+    figure_8,
+)
+from repro.evaluation.experiments_approx import (
+    FIG14_QUERY,
+    FIG15_QUERY,
+    accuracy_table,
+    figure_9,
+    figure_10,
+    figure_11,
+    figure_12,
+    figure_13a,
+    figure_13b,
+    figure_14,
+    figure_15,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "FIG4_QUERY",
+    "FIG8_QUERY",
+    "FIG14_QUERY",
+    "FIG15_QUERY",
+    "figure_4",
+    "figure_5",
+    "figure_6",
+    "figure_7a",
+    "figure_7b",
+    "figure_8",
+    "figure_9",
+    "figure_10",
+    "figure_11",
+    "figure_12",
+    "figure_13a",
+    "figure_13b",
+    "figure_14",
+    "figure_15",
+    "accuracy_table",
+]

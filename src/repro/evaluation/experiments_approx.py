@@ -1,0 +1,574 @@
+"""Experiment runners for the approximate-solver figures (Figures 9-15).
+
+See :mod:`repro.evaluation.experiments_exact` for conventions; these
+runners cover Section 6.3 (approximate solvers) and Section 6.4 (session
+scalability) of the paper.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Sequence
+
+import numpy as np
+
+from repro.approx.adaptive import mis_amp_adaptive
+from repro.approx.lite import LiteWorkspace, mis_amp_lite
+from repro.datasets.benchmarks import benchmark_a, benchmark_b, benchmark_c
+from repro.datasets.crowdrank import crowdrank_database
+from repro.datasets.movielens import movielens_database
+from repro.datasets.polls import polls_database
+from repro.evaluation.experiments_exact import FIG4_QUERY, ExperimentResult
+from repro.evaluation.harness import Timer, percentile, relative_error
+from repro.patterns.labels import Labeling
+from repro.patterns.pattern import LabelPattern, PatternNode
+from repro.query.compile import labeling_for_patterns
+from repro.query.engine import compile_session_work, evaluate, solve_session
+from repro.query.parser import parse_query
+from repro.rim.mallows import Mallows
+from repro.rim.sampling import rejection_until_within
+from repro.solvers.dispatch import solve as exact_solve
+from repro.solvers.two_label import two_label_probability
+
+
+# ----------------------------------------------------------------------
+# Figure 9 — rejection sampling vs MIS-AMP-lite on rare events
+# ----------------------------------------------------------------------
+
+
+def figure_9(
+    m_values: Sequence[int] = (4, 5, 6, 7, 8),
+    phi: float = 0.1,
+    repeats: int = 3,
+    rs_tolerance: float = 0.01,
+    rs_max_samples: int = 2_000_000,
+    lite_samples: int = 1000,
+    lite_proposals: int = 1,
+    seed: int = 9,
+) -> ExperimentResult:
+    """Figure 9: the query ``sigma_m > sigma_1`` over ``MAL(sigma, 0.1)``.
+
+    Paper scale: m in 5..10; RS (with an optimistic 1%-relative-error
+    stopping rule) needs exponentially many samples while MIS-AMP-lite with
+    one proposal stays flat.
+    """
+    rng = np.random.default_rng(seed)
+    result = ExperimentResult(
+        experiment="figure_9",
+        headers=[
+            "m", "exact_p", "rs_median_s", "rs_samples",
+            "lite_median_s", "lite_rel_err",
+        ],
+        notes={"rs_max_samples": rs_max_samples},
+    )
+    for m in m_values:
+        items = list(range(m))
+        model = Mallows(items, phi)
+        labeling = Labeling({items[0]: {"first"}, items[-1]: {"last"}})
+        pattern = LabelPattern(
+            [
+                (
+                    PatternNode("l", frozenset({"last"})),
+                    PatternNode("r", frozenset({"first"})),
+                )
+            ]
+        )
+        exact = two_label_probability(model, labeling, pattern).probability
+
+        def predicate(tau):
+            return tau.rank_of(items[-1]) < tau.rank_of(items[0])
+
+        rs_times, rs_samples = [], []
+        lite_times, lite_errors = [], []
+        for _ in range(repeats):
+            with Timer() as timer:
+                rs = rejection_until_within(
+                    model, predicate, exact, rs_tolerance, rng,
+                    max_samples=rs_max_samples,
+                )
+            rs_times.append(timer.seconds)
+            rs_samples.append(rs.n_samples)
+            with Timer() as timer:
+                lite = mis_amp_lite(
+                    model, labeling, pattern,
+                    n_proposals=lite_proposals,
+                    n_per_proposal=lite_samples,
+                    rng=rng,
+                )
+            lite_times.append(timer.seconds)
+            lite_errors.append(relative_error(lite.probability, exact))
+        result.rows.append(
+            [
+                m,
+                exact,
+                percentile(rs_times, 50),
+                int(percentile([float(s) for s in rs_samples], 50)),
+                percentile(lite_times, 50),
+                percentile(lite_errors, 50),
+            ]
+        )
+    return result
+
+
+# ----------------------------------------------------------------------
+# Figures 10-12 — MIS-AMP-lite accuracy and compensation
+# ----------------------------------------------------------------------
+
+
+def _lite_error_sweep(
+    instances,
+    d_values: Sequence[int],
+    n_per_proposal: int,
+    rng: np.random.Generator,
+    compensate: bool = True,
+    exact_time_budget: float = 120.0,
+):
+    """Per-instance relative errors of MIS-AMP-lite for each proposal count."""
+    errors: dict[int, list[float]] = {d: [] for d in d_values}
+    per_instance: list[dict] = []
+    for instance in instances:
+        exact = exact_solve(
+            instance.model,
+            instance.labeling,
+            instance.union,
+            method="bipartite" if instance.union.is_bipartite() else "lifted",
+            time_budget=exact_time_budget,
+        ).probability
+        workspace = LiteWorkspace(
+            instance.model, instance.labeling, instance.union
+        )
+        row = {"name": instance.name, "exact": exact, "errors": {}}
+        for d in d_values:
+            estimate = mis_amp_lite(
+                instance.model,
+                instance.labeling,
+                instance.union,
+                n_proposals=d,
+                n_per_proposal=n_per_proposal,
+                rng=rng,
+                compensate=compensate,
+                workspace=workspace,
+            ).probability
+            error = relative_error(estimate, exact)
+            errors[d].append(error)
+            row["errors"][d] = error
+        per_instance.append(row)
+    return errors, per_instance
+
+
+def figure_10(
+    benchmark: str = "a",
+    d_values: Sequence[int] = (1, 2, 5, 10, 20),
+    n_instances: int = 8,
+    m: int = 10,
+    n_per_proposal: int = 300,
+    seed: int = 10,
+) -> ExperimentResult:
+    """Figure 10: MIS-AMP-lite relative-error distribution vs #proposals.
+
+    Paper scale: Benchmark-A (m=15) and Benchmark-C (m up to 16, 3/3/3);
+    error distributions tighten with the proposal count and plateau around
+    20 distributions.
+    """
+    rng = np.random.default_rng(seed)
+    if benchmark == "a":
+        instances = benchmark_a(
+            n_unions=n_instances, m=m, items_per_label=2, seed=seed
+        )
+    elif benchmark == "c":
+        instances = list(
+            benchmark_c(
+                m_values=(m,),
+                patterns_per_union=(3,),
+                labels_per_pattern=(3,),
+                items_per_label=(3,),
+                instances_per_combo=n_instances,
+                seed=seed,
+            )
+        )
+    else:
+        raise ValueError(f"unknown benchmark {benchmark!r}")
+    errors, _ = _lite_error_sweep(instances, d_values, n_per_proposal, rng)
+    result = ExperimentResult(
+        experiment=f"figure_10{benchmark}",
+        headers=["n_proposals", "p25_rel_err", "median_rel_err", "p75_rel_err", "max_rel_err"],
+    )
+    for d in d_values:
+        values = errors[d]
+        result.rows.append(
+            [
+                d,
+                percentile(values, 25),
+                percentile(values, 50),
+                percentile(values, 75),
+                max(values),
+            ]
+        )
+    return result
+
+
+def figure_11(
+    d_values: Sequence[int] = (1, 5, 10, 20),
+    n_instances: int = 8,
+    m: int = 10,
+    n_per_proposal: int = 300,
+    seed: int = 11,
+) -> ExperimentResult:
+    """Figure 11: typical vs atypical Benchmark-A instances, compensation ablation.
+
+    For every instance the error curve is computed with and without
+    compensation; the instance helped most by compensation plays the role
+    of the paper's "atypical" case (11b/11c).
+    """
+    rng = np.random.default_rng(seed)
+    instances = benchmark_a(
+        n_unions=n_instances, m=m, items_per_label=2, seed=seed
+    )
+    with_comp, rows_with = _lite_error_sweep(
+        instances, d_values, n_per_proposal, rng, compensate=True
+    )
+    without_comp, rows_without = _lite_error_sweep(
+        instances, d_values, n_per_proposal, rng, compensate=False
+    )
+    result = ExperimentResult(
+        experiment="figure_11",
+        headers=["instance", "compensation", "n_proposals", "rel_err"],
+    )
+    # "typical": median final-d error with compensation; "atypical": the
+    # instance with the largest no-compensation error at the smallest d.
+    final_d = d_values[-1]
+    typical_index = int(
+        np.argsort([row["errors"][final_d] for row in rows_with])[
+            len(rows_with) // 2
+        ]
+    )
+    atypical_index = int(
+        np.argmax([row["errors"][d_values[0]] for row in rows_without])
+    )
+    for label, index in (("typical", typical_index), ("atypical", atypical_index)):
+        for d in d_values:
+            result.rows.append(
+                [label, "on", d, rows_with[index]["errors"][d]]
+            )
+            result.rows.append(
+                [label, "off", d, rows_without[index]["errors"][d]]
+            )
+    result.notes = {
+        "typical_instance": rows_with[typical_index]["name"],
+        "atypical_instance": rows_without[atypical_index]["name"],
+    }
+    return result
+
+
+def figure_12(
+    n_instances: int = 12,
+    m: int = 8,
+    n_per_proposal: int = 300,
+    seed: int = 12,
+) -> ExperimentResult:
+    """Figure 12: compensation scatter on Benchmark-C with one proposal.
+
+    Paper: most instances fall below the diagonal (compensation reduces the
+    error), dramatically so where the uncompensated error approaches 100%.
+    """
+    rng = np.random.default_rng(seed)
+    instances = list(
+        benchmark_c(
+            m_values=(m,),
+            patterns_per_union=(3,),
+            labels_per_pattern=(3,),
+            items_per_label=(3,),
+            instances_per_combo=n_instances,
+            seed=seed,
+        )
+    )
+    _, rows_with = _lite_error_sweep(
+        instances, (1,), n_per_proposal, rng, compensate=True
+    )
+    _, rows_without = _lite_error_sweep(
+        instances, (1,), n_per_proposal, rng, compensate=False
+    )
+    result = ExperimentResult(
+        experiment="figure_12",
+        headers=["instance", "rel_err_without", "rel_err_with", "improved"],
+    )
+    improved = 0
+    for with_row, without_row in zip(rows_with, rows_without):
+        err_with = with_row["errors"][1]
+        err_without = without_row["errors"][1]
+        if err_with <= err_without:
+            improved += 1
+        result.rows.append(
+            [with_row["name"], err_without, err_with, err_with <= err_without]
+        )
+    result.notes = {"improved_fraction": improved / len(rows_with)}
+    return result
+
+
+# ----------------------------------------------------------------------
+# Figure 13 — MIS-AMP-adaptive scalability on Benchmark-B
+# ----------------------------------------------------------------------
+
+
+def figure_13a(
+    labels_per_pattern: Sequence[int] = (3, 4, 5),
+    items_per_label: Sequence[int] = (3, 5),
+    m: int = 50,
+    patterns_per_union: int = 3,
+    seed: int = 13,
+) -> ExperimentResult:
+    """Figure 13a: proposal-construction overhead vs labels and items/label.
+
+    Paper scale: m = 100, 3 patterns/union, items/label up to 7; overhead
+    rises sharply with the number of labels.
+    """
+    result = ExperimentResult(
+        experiment="figure_13a",
+        headers=["labels_per_pattern", "items_per_label", "overhead_s", "w"],
+    )
+    for q in labels_per_pattern:
+        for ipl in items_per_label:
+            instance = next(
+                iter(
+                    benchmark_b(
+                        m_values=(m,),
+                        patterns_per_union=(patterns_per_union,),
+                        labels_per_pattern=(q,),
+                        items_per_label=(ipl,),
+                        instances_per_combo=1,
+                        seed=seed,
+                    )
+                )
+            )
+            with Timer() as timer:
+                workspace = LiteWorkspace(
+                    instance.model, instance.labeling, instance.union
+                )
+                # modal search for the first few sub-rankings is part of
+                # proposal construction
+                for index in range(min(5, workspace.w)):
+                    workspace.modals_for(index)
+            result.rows.append([q, ipl, timer.seconds, workspace.w])
+    return result
+
+
+def figure_13b(
+    m_values: Sequence[int] = (20, 50, 100, 200),
+    labels_per_pattern: Sequence[int] = (3, 4, 5),
+    patterns_per_union: int = 2,
+    items_per_label: int = 5,
+    n_per_proposal: int = 100,
+    seed: int = 13,
+) -> ExperimentResult:
+    """Figure 13b: sampling convergence time vs m (construction excluded).
+
+    Paper: convergence time grows only moderately with m and is largely
+    insensitive to the number of labels.
+    """
+    rng = np.random.default_rng(seed)
+    result = ExperimentResult(
+        experiment="figure_13b",
+        headers=["m", "labels_per_pattern", "sampling_s", "iterations"],
+    )
+    for m in m_values:
+        for q in labels_per_pattern:
+            instance = next(
+                iter(
+                    benchmark_b(
+                        m_values=(m,),
+                        patterns_per_union=(patterns_per_union,),
+                        labels_per_pattern=(q,),
+                        items_per_label=(items_per_label,),
+                        instances_per_combo=1,
+                        seed=seed,
+                    )
+                )
+            )
+            workspace = LiteWorkspace(
+                instance.model, instance.labeling, instance.union
+            )
+            # Median of 3 runs (sampling randomness), as in the paper.
+            times, iterations = [], []
+            for _ in range(3):
+                solved = mis_amp_adaptive(
+                    instance.model,
+                    instance.labeling,
+                    instance.union,
+                    rng=rng,
+                    n_per_proposal=n_per_proposal,
+                    workspace=workspace,
+                )
+                times.append(solved.stats["sampling_seconds"])
+                iterations.append(solved.stats["iterations"])
+            result.rows.append(
+                [m, q, percentile(times, 50), int(percentile(iterations, 50))]
+            )
+    return result
+
+
+# ----------------------------------------------------------------------
+# Figure 14 — MIS-AMP-adaptive over (simulated) MovieLens
+# ----------------------------------------------------------------------
+
+FIG14_QUERY = (
+    "P(_; 2; 1), P(_; x; 1), P(_; x; y), "
+    "M(x, _, year1, genre), year1 >= 1990, "
+    "M(y, _, year2, genre), year2 < 1990"
+)
+
+
+def figure_14(
+    m_values: Sequence[int] = (20, 40, 60, 80),
+    n_users: int = 8,
+    n_components: int = 4,
+    n_per_proposal: int = 100,
+    max_proposals: int = 9,
+    seed: int = 14,
+) -> ExperimentResult:
+    """Figure 14: adaptive-solver runtime over MovieLens as the catalog grows.
+
+    Paper scale: m = 40..200, 5980 users, 16 mixture components; larger
+    catalogs contain more genres, hence more patterns in the union and
+    longer runtimes.  The query asks whether movie 2 is preferred to movie
+    1 and some post-1990 movie is preferred both to movie 1 and to a
+    pre-1990 movie of the same genre.
+    """
+    rng = np.random.default_rng(seed)
+    result = ExperimentResult(
+        experiment="figure_14",
+        headers=["m", "n_patterns", "median_s", "max_s", "n_sessions"],
+    )
+    query = parse_query(FIG14_QUERY)
+    for m in m_values:
+        db = movielens_database(
+            n_movies=m, n_users=n_users, n_components=n_components, seed=seed
+        )
+        works = [
+            w for w in compile_session_work(query, db) if w.union is not None
+        ]
+        items = db.prelation("P").items
+        times = []
+        n_patterns = 0
+        seen_models = set()
+        for work in works:
+            if id(work.model) in seen_models:
+                continue  # group identical models as the engine would
+            seen_models.add(id(work.model))
+            labeling = labeling_for_patterns(work.union.patterns, items, db)
+            n_patterns = work.union.z
+            with Timer() as timer:
+                solve_session(
+                    work.model,
+                    labeling,
+                    work.union,
+                    method="mis_amp_adaptive",
+                    rng=rng,
+                    n_per_proposal=n_per_proposal,
+                    max_proposals=max_proposals,
+                )
+            times.append(timer.seconds)
+        result.rows.append(
+            [m, n_patterns, percentile(times, 50), max(times), len(times)]
+        )
+    return result
+
+
+# ----------------------------------------------------------------------
+# Figure 15 — session scalability on (simulated) CrowdRank
+# ----------------------------------------------------------------------
+
+FIG15_QUERY = (
+    "P(v; m1; m2), P(v; m2; m3), V(v, sex, age), "
+    "M(m1, _, sex, _, 'short'), M(m2, _, _, age, 'short'), "
+    "M(m3, 'Thriller', _, _, _)"
+)
+
+
+def figure_15(
+    session_counts: Sequence[int] = (10, 100, 1000, 10_000),
+    naive_limit: int = 1000,
+    n_movies: int = 10,
+    seed: int = 15,
+) -> ExperimentResult:
+    """Figure 15: naive vs grouped evaluation over growing session counts.
+
+    Paper scale: up to 200 000 sessions; the naive strategy is linear in the
+    session count while grouping identical (model, pattern) requests
+    converges after ~118 s.  ``naive_limit`` skips naive runs beyond that
+    many sessions (they are linear extrapolations).
+    """
+    result = ExperimentResult(
+        experiment="figure_15",
+        headers=["n_sessions", "strategy", "seconds", "solver_calls"],
+        notes={"naive_limit": naive_limit},
+    )
+    max_sessions = max(session_counts)
+    db = crowdrank_database(
+        n_workers=max_sessions, n_movies=n_movies, seed=seed
+    )
+    query = parse_query(FIG15_QUERY)
+    for count in session_counts:
+        grouped = evaluate(
+            query, db, method="lifted", group_sessions=True,
+            session_limit=count,
+        )
+        result.rows.append(
+            [count, "grouped", grouped.seconds, grouped.n_solver_calls]
+        )
+        if count <= naive_limit:
+            naive = evaluate(
+                query, db, method="lifted", group_sessions=False,
+                session_limit=count,
+            )
+            result.rows.append(
+                [count, "naive", naive.seconds, naive.n_solver_calls]
+            )
+    return result
+
+
+# ----------------------------------------------------------------------
+# Section 6.2 accuracy table — MIS-AMP-adaptive on the Figure 4 workload
+# ----------------------------------------------------------------------
+
+
+def accuracy_table(
+    m: int = 10,
+    n_sessions: int = 20,
+    n_voters: int = 40,
+    n_per_proposal: int = 200,
+    seed: int = 62,
+) -> ExperimentResult:
+    """Section 6.2: relative-error distribution of MIS-AMP-adaptive on Polls.
+
+    Paper: 77% of instances under 1% relative error, 93% under 10%, maximum
+    63%.
+    """
+    rng = np.random.default_rng(seed)
+    db = polls_database(n_candidates=m, n_voters=n_voters, seed=seed)
+    query = parse_query(FIG4_QUERY)
+    works = [
+        w for w in compile_session_work(query, db) if w.union is not None
+    ][:n_sessions]
+    items = db.prelation("P").items
+    errors = []
+    for work in works:
+        labeling = labeling_for_patterns(work.union.patterns, items, db)
+        exact, _ = solve_session(work.model, labeling, work.union, "two_label")
+        approx, _ = solve_session(
+            work.model, labeling, work.union, "mis_amp_adaptive",
+            rng=rng, n_per_proposal=n_per_proposal,
+        )
+        errors.append(relative_error(approx, exact))
+    errors_array = np.array(errors)
+    result = ExperimentResult(
+        experiment="accuracy_table_6_2",
+        headers=["metric", "value"],
+    )
+    result.rows = [
+        ["sessions", len(errors)],
+        ["fraction_under_1pct", float(np.mean(errors_array < 0.01))],
+        ["fraction_under_10pct", float(np.mean(errors_array < 0.10))],
+        ["max_rel_err", float(errors_array.max())],
+        ["median_rel_err", float(np.median(errors_array))],
+    ]
+    return result

@@ -1,0 +1,100 @@
+"""Shared experiment utilities: timing, error metrics, table formatting."""
+
+from __future__ import annotations
+
+import math
+import time
+from pathlib import Path
+from typing import Iterable, Sequence
+
+
+class Timer:
+    """A perf_counter context manager.
+
+    >>> with Timer() as t:
+    ...     _ = sum(range(1000))
+    >>> t.seconds >= 0.0
+    True
+    """
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        self.seconds = 0.0
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.seconds = time.perf_counter() - self._start
+
+
+def relative_error(estimate: float, exact: float) -> float:
+    """``|estimate - exact| / exact``; 0 when both are (near) zero."""
+    if abs(exact) < 1e-15:
+        return 0.0 if abs(estimate) < 1e-15 else math.inf
+    return abs(estimate - exact) / abs(exact)
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The q-th percentile (0..100) with linear interpolation."""
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    rank = (q / 100.0) * (len(ordered) - 1)
+    low = int(math.floor(rank))
+    high = int(math.ceil(rank))
+    if low == high:
+        return float(ordered[low])
+    fraction = rank - low
+    return float(ordered[low] * (1 - fraction) + ordered[high] * fraction)
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """The geometric mean of positive values."""
+    values = list(values)
+    if not values:
+        raise ValueError("geometric mean of empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric mean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def format_value(value) -> str:
+    if isinstance(value, float):
+        if value == 0.0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.001:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence]) -> str:
+    """A plain ASCII table (monospace-aligned columns)."""
+    text_rows = [[format_value(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    header = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in text_rows:
+        lines.append(
+            "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+        )
+    return "\n".join(lines)
+
+
+def save_text(path: str | Path, text: str) -> Path:
+    """Write ``text`` to ``path``, creating parent directories."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(text)
+    return path
+
+
+def results_dir() -> Path:
+    """The default directory for benchmark output files."""
+    return Path(__file__).resolve().parents[3] / "benchmarks" / "results"

@@ -1,0 +1,28 @@
+"""Label patterns: labelings, pattern DAGs, unions, and embedding matching.
+
+Implements Sections 2.1 and 2.3 of the paper: the labeling function
+``lambda``, label patterns (partial orders over label-set nodes), unions of
+patterns, and the embedding semantics ``(tau, lambda) |= g``.
+"""
+
+from repro.patterns.labels import Labeling
+from repro.patterns.matching import (
+    find_embedding,
+    matches,
+    matches_union,
+    match_served_sequence,
+)
+from repro.patterns.pattern import LabelPattern, PatternNode, pattern_conjunction
+from repro.patterns.union import PatternUnion
+
+__all__ = [
+    "Labeling",
+    "LabelPattern",
+    "PatternNode",
+    "PatternUnion",
+    "pattern_conjunction",
+    "matches",
+    "matches_union",
+    "find_embedding",
+    "match_served_sequence",
+]

@@ -1,0 +1,130 @@
+"""The labeling function ``lambda``: items to sets of labels.
+
+Labels are values of item attributes (Section 2.1 of the paper) — e.g. the
+label ``("sex", "M")`` for candidate Trump in the polling database.  Any
+hashable object can serve as a label; the benchmark generators use plain
+strings while the query compiler uses condition objects.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Mapping
+
+Item = Hashable
+Label = Hashable
+
+
+class Labeling:
+    """An immutable mapping from items to finite sets of labels.
+
+    Provides the lookups the solvers need:
+
+    * ``labels_of(item)`` — the paper's ``lambda(item)``;
+    * ``items_matching(labelset)`` — items carrying *all* labels of a
+      pattern node (nodes are label conjunctions like ``{M, JD}``);
+    * per-label occurrence statistics used for solver pruning (e.g. the
+      bipartite solver declares an edge violated only once every item of
+      both endpoint labels has been inserted).
+    """
+
+    def __init__(self, mapping: Mapping[Item, Iterable[Label]]):
+        self._labels: dict[Item, frozenset[Label]] = {
+            item: frozenset(labels) for item, labels in mapping.items()
+        }
+        index: dict[Label, set[Item]] = {}
+        for item, labels in self._labels.items():
+            for label in labels:
+                index.setdefault(label, set()).add(item)
+        self._index: dict[Label, frozenset[Item]] = {
+            label: frozenset(items) for label, items in index.items()
+        }
+
+    # ------------------------------------------------------------------
+    # Lookups
+    # ------------------------------------------------------------------
+
+    def labels_of(self, item: Item) -> frozenset[Label]:
+        """``lambda(item)``; items without labels map to the empty set."""
+        return self._labels.get(item, frozenset())
+
+    def items_with_label(self, label: Label) -> frozenset[Item]:
+        """All items carrying ``label``."""
+        return self._index.get(label, frozenset())
+
+    def items_matching(self, labelset: Iterable[Label]) -> frozenset[Item]:
+        """Items whose label set is a superset of ``labelset``.
+
+        An item can be embedded at a pattern node exactly when it matches
+        the node's label conjunction this way.  An empty ``labelset``
+        matches every labeled item.
+        """
+        labels = list(labelset)
+        if not labels:
+            return frozenset(self._labels)
+        candidate_sets = [self._index.get(label, frozenset()) for label in labels]
+        smallest = min(candidate_sets, key=len)
+        result = set(smallest)
+        for candidates in candidate_sets:
+            result &= candidates
+        return frozenset(result)
+
+    def label_count(self, label: Label) -> int:
+        """Number of items carrying ``label``."""
+        return len(self._index.get(label, ()))
+
+    @property
+    def labels(self) -> frozenset[Label]:
+        """All labels in use."""
+        return frozenset(self._index)
+
+    @property
+    def items(self) -> frozenset[Item]:
+        """All items with an explicit (possibly empty) label set."""
+        return frozenset(self._labels)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Labeling):
+            return NotImplemented
+        return self._labels == other._labels
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._labels.items()))
+
+    def __repr__(self) -> str:
+        return f"Labeling({len(self._labels)} items, {len(self._index)} labels)"
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    def restrict(self, items: Iterable[Item]) -> "Labeling":
+        """A labeling over a subset of the items."""
+        keep = set(items)
+        return Labeling(
+            {item: labels for item, labels in self._labels.items() if item in keep}
+        )
+
+    def extended(self, mapping: Mapping[Item, Iterable[Label]]) -> "Labeling":
+        """A labeling with additional labels merged in per item."""
+        merged: dict[Item, set[Label]] = {
+            item: set(labels) for item, labels in self._labels.items()
+        }
+        for item, labels in mapping.items():
+            merged.setdefault(item, set()).update(labels)
+        return Labeling(merged)
+
+    @classmethod
+    def from_attribute_rows(
+        cls, rows: Mapping[Item, Mapping[str, Hashable]]
+    ) -> "Labeling":
+        """Build a labeling where each attribute value becomes a label.
+
+        Every item receives one ``(attribute, value)`` label per attribute —
+        the natural labeling of an o-relation describing the items.
+        """
+        return cls(
+            {
+                item: {(attr, value) for attr, value in attributes.items()}
+                for item, attributes in rows.items()
+            }
+        )

@@ -1,0 +1,133 @@
+"""Embedding semantics: does a ranking satisfy a pattern? (Section 2.3)
+
+An embedding of pattern ``g`` into ranking ``tau`` is a function ``delta``
+from nodes to positions such that (1) the item at ``delta(v)`` carries all
+labels of ``v`` and (2) every edge ``(u, v)`` has ``delta(u) < delta(v)``.
+Embeddings need not be injective: incomparable nodes may share a position.
+
+Matching is decided by a *canonical greedy* embedding: process the nodes in
+topological order and map each node to the smallest feasible position, i.e.
+the first position strictly below all its (already mapped) parents whose
+item serves the node.  Greedy minimality is optimal: for any embedding
+``delta'`` a straightforward induction over the topological order shows the
+greedy ``delta`` satisfies ``delta(v) <= delta'(v)`` for every node — the
+feasibility constraint of ``v`` references only its parents, and smaller
+parent positions only enlarge the feasible set.  Hence the greedy embedding
+exists iff any embedding exists.
+"""
+
+from __future__ import annotations
+
+from typing import Container, Hashable, Sequence
+
+from repro.patterns.labels import Labeling
+from repro.patterns.pattern import LabelPattern, PatternNode
+from repro.patterns.union import PatternUnion
+
+Item = Hashable
+
+
+def match_served_sequence(
+    served: Sequence[Container[PatternNode]], pattern: LabelPattern
+) -> dict[PatternNode, int] | None:
+    """Greedy-match ``pattern`` against a sequence of served-node sets.
+
+    ``served[p - 1]`` is the set of pattern nodes the item at position ``p``
+    can be embedded at.  Returns the canonical (positionwise-minimal)
+    embedding as a dict mapping nodes to 1-based positions, or ``None`` when
+    no embedding exists.
+    """
+    n = len(served)
+    delta: dict[PatternNode, int] = {}
+    for pattern_node in pattern.topological_order:
+        bound = 0
+        for parent in pattern.parents(pattern_node):
+            parent_position = delta[parent]
+            if parent_position > bound:
+                bound = parent_position
+        position = None
+        for p in range(bound + 1, n + 1):
+            if pattern_node in served[p - 1]:
+                position = p
+                break
+        if position is None:
+            return None
+        delta[pattern_node] = position
+    return delta
+
+
+def served_sequence(
+    ranking, union_or_pattern, labeling: Labeling
+) -> list[frozenset[PatternNode]]:
+    """Per-position served-node sets of ``ranking`` for a pattern or union."""
+    if isinstance(union_or_pattern, LabelPattern):
+        nodes = union_or_pattern.nodes
+    else:
+        nodes = union_or_pattern.all_nodes
+    sequence = []
+    for item in ranking:
+        item_labels = labeling.labels_of(item)
+        sequence.append(
+            frozenset(n for n in nodes if n.labels <= item_labels)
+        )
+    return sequence
+
+
+def find_embedding(
+    ranking, pattern: LabelPattern, labeling: Labeling
+) -> dict[PatternNode, int] | None:
+    """The canonical embedding of ``pattern`` into ``ranking``, or ``None``."""
+    return match_served_sequence(
+        served_sequence(ranking, pattern, labeling), pattern
+    )
+
+
+def matches(ranking, pattern: LabelPattern, labeling: Labeling) -> bool:
+    """``(tau, lambda) |= g``: does the ranking satisfy the pattern?"""
+    return find_embedding(ranking, pattern, labeling) is not None
+
+
+def matches_union(ranking, union: PatternUnion, labeling: Labeling) -> bool:
+    """``(tau, lambda) |= G``: does the ranking satisfy any pattern of ``G``?"""
+    sequence = served_sequence(ranking, union, labeling)
+    return any(
+        match_served_sequence(sequence, pattern) is not None
+        for pattern in union
+    )
+
+
+def union_predicate(union: PatternUnion, labeling: Labeling):
+    """A ``ranking -> bool`` closure for Monte-Carlo estimators."""
+
+    def predicate(ranking) -> bool:
+        return matches_union(ranking, union, labeling)
+
+    return predicate
+
+
+def enumerate_embeddings(
+    ranking, pattern: LabelPattern, labeling: Labeling
+):
+    """Yield *all* embeddings of ``pattern`` into ``ranking`` (test oracle).
+
+    Exponential in the number of nodes; used to validate the canonical
+    greedy matcher in the test suite.
+    """
+    sequence = served_sequence(ranking, pattern, labeling)
+    nodes = list(pattern.topological_order)
+
+    def assign(index: int, delta: dict[PatternNode, int]):
+        if index == len(nodes):
+            yield dict(delta)
+            return
+        pattern_node = nodes[index]
+        bound = 0
+        for parent in pattern.parents(pattern_node):
+            bound = max(bound, delta[parent])
+        for p in range(bound + 1, len(sequence) + 1):
+            if pattern_node in sequence[p - 1]:
+                delta[pattern_node] = p
+                yield from assign(index + 1, delta)
+                del delta[pattern_node]
+
+    yield from assign(0, {})

@@ -1,0 +1,257 @@
+"""Label patterns: DAGs over label-conjunction nodes (Section 2.1).
+
+A label pattern ``g`` is a partial order over nodes, where each node carries
+a *conjunction* of labels (e.g. ``{M, JD}``) and each edge ``(u, v)`` states
+that the item embedded at ``u`` must be preferred to the item embedded at
+``v``.  A ranking ``tau`` satisfies ``g`` (w.r.t. a labeling ``lambda``)
+when an embedding of the nodes into positions exists — see
+:mod:`repro.patterns.matching`.
+
+Nodes have *names* distinct from their label sets: two different nodes may
+carry identical labels (e.g. the pattern "some female candidate is preferred
+to another female candidate" needs two nodes labeled F).  The conjunction of
+patterns used by the general solver's inclusion–exclusion (Section 4.1)
+keeps each conjunct's nodes separate — each pattern retains its own
+existential witnesses — which is implemented as a disjoint union of node
+sets (:func:`pattern_conjunction`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Iterable, Iterator, Sequence
+
+Label = Hashable
+
+
+@dataclass(frozen=True)
+class PatternNode:
+    """A pattern node: a named conjunction of labels.
+
+    ``name`` identifies the node within its pattern (it typically echoes the
+    query variable the node came from); ``labels`` is the set of labels an
+    item must *all* carry to be embeddable at this node.
+    """
+
+    name: str
+    labels: frozenset[Label]
+
+    def __post_init__(self):
+        if not isinstance(self.labels, frozenset):
+            object.__setattr__(self, "labels", frozenset(self.labels))
+
+    def rename(self, new_name: str) -> "PatternNode":
+        return PatternNode(new_name, self.labels)
+
+    def __repr__(self) -> str:
+        labels = "{" + ", ".join(sorted(map(str, self.labels))) + "}"
+        return f"{self.name}:{labels}"
+
+
+def node(name: str, *labels: Label) -> PatternNode:
+    """Convenience constructor: ``node("l1", "F")``."""
+    return PatternNode(name, frozenset(labels))
+
+
+class LabelPattern:
+    """An immutable DAG of :class:`PatternNode` objects.
+
+    Edges ``(u, v)`` mean "the item at ``u`` is preferred to the item at
+    ``v``".  Construction validates acyclicity (a pattern is a partial order
+    of labels) and rejects self-loops.  Isolated nodes are allowed: they
+    assert the existence of a matching item without ordering it.
+    """
+
+    __slots__ = ("_nodes", "_edges", "_out", "_in", "_topo")
+
+    def __init__(
+        self,
+        edges: Iterable[tuple[PatternNode, PatternNode]] = (),
+        nodes: Iterable[PatternNode] = (),
+    ):
+        edge_set = frozenset((u, v) for u, v in edges)
+        node_set = set(nodes)
+        out_edges: dict[PatternNode, set[PatternNode]] = {}
+        in_edges: dict[PatternNode, set[PatternNode]] = {}
+        for u, v in edge_set:
+            if u == v:
+                raise ValueError(f"self-loop on node {u!r}: patterns are strict orders")
+            node_set.add(u)
+            node_set.add(v)
+            out_edges.setdefault(u, set()).add(v)
+            in_edges.setdefault(v, set()).add(u)
+        names = [n.name for n in node_set]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate node names in pattern: {sorted(names)}")
+        self._nodes = frozenset(node_set)
+        self._edges = edge_set
+        self._out = {k: frozenset(v) for k, v in out_edges.items()}
+        self._in = {k: frozenset(v) for k, v in in_edges.items()}
+        self._topo = self._topological_order()
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def nodes(self) -> frozenset[PatternNode]:
+        return self._nodes
+
+    @property
+    def edges(self) -> frozenset[tuple[PatternNode, PatternNode]]:
+        return self._edges
+
+    def children(self, node: PatternNode) -> frozenset[PatternNode]:
+        """Nodes directly less preferred than ``node``."""
+        return self._out.get(node, frozenset())
+
+    def parents(self, node: PatternNode) -> frozenset[PatternNode]:
+        """Nodes directly more preferred than ``node``."""
+        return self._in.get(node, frozenset())
+
+    @property
+    def size(self) -> int:
+        """The paper's ``q``: number of nodes."""
+        return len(self._nodes)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, LabelPattern):
+            return NotImplemented
+        return self._nodes == other._nodes and self._edges == other._edges
+
+    def __hash__(self) -> int:
+        return hash((self._nodes, self._edges))
+
+    def __repr__(self) -> str:
+        edges = sorted(f"{u!r} > {v!r}" for u, v in self._edges)
+        isolated = sorted(repr(n) for n in self._nodes if n not in self._involved())
+        parts = edges + isolated
+        return "LabelPattern(" + "; ".join(parts) + ")"
+
+    def _involved(self) -> set[PatternNode]:
+        involved: set[PatternNode] = set()
+        for u, v in self._edges:
+            involved.add(u)
+            involved.add(v)
+        return involved
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+
+    def _topological_order(self) -> tuple[PatternNode, ...]:
+        indegree = {n: len(self._in.get(n, ())) for n in self._nodes}
+        frontier = sorted(
+            (n for n, deg in indegree.items() if deg == 0), key=lambda n: n.name
+        )
+        order: list[PatternNode] = []
+        while frontier:
+            current = frontier.pop(0)
+            order.append(current)
+            released = []
+            for child in self._out.get(current, ()):
+                indegree[child] -= 1
+                if indegree[child] == 0:
+                    released.append(child)
+            if released:
+                frontier = sorted(frontier + released, key=lambda n: n.name)
+        if len(order) != len(self._nodes):
+            raise ValueError("pattern contains a cycle; patterns must be DAGs")
+        return tuple(order)
+
+    @property
+    def topological_order(self) -> tuple[PatternNode, ...]:
+        """Nodes ordered parents-first (deterministic tie-break by name)."""
+        return self._topo
+
+    def transitive_closure(self) -> "LabelPattern":
+        """``tc(g)``: all implied node pairs as edges (Section 4.3.2)."""
+        descendants: dict[PatternNode, set[PatternNode]] = {}
+        for current in reversed(self._topo):
+            reach: set[PatternNode] = set()
+            for child in self._out.get(current, ()):
+                reach.add(child)
+                reach |= descendants[child]
+            descendants[current] = reach
+        closure_edges = [
+            (u, v) for u, reach in descendants.items() for v in reach
+        ]
+        return LabelPattern(closure_edges, nodes=self._nodes)
+
+    def is_two_label(self) -> bool:
+        """True iff the pattern is a single edge between two nodes."""
+        return len(self._nodes) == 2 and len(self._edges) == 1
+
+    def is_bipartite(self) -> bool:
+        """True iff every node is a pure source or a pure sink of edges.
+
+        This is the paper's bipartite-pattern class (Section 4.3): nodes
+        split into an L side (outgoing edges only) and an R side (incoming
+        only).  Isolated nodes disqualify the pattern because the Min/Max
+        position criterion does not express bare existence.
+        """
+        if not self._edges:
+            return False
+        for n in self._nodes:
+            has_out = bool(self._out.get(n))
+            has_in = bool(self._in.get(n))
+            if has_out and has_in:
+                return False
+            if not has_out and not has_in:
+                return False
+        return True
+
+    def left_nodes(self) -> frozenset[PatternNode]:
+        """Source-side nodes of a bipartite pattern."""
+        return frozenset(n for n in self._nodes if self._out.get(n))
+
+    def right_nodes(self) -> frozenset[PatternNode]:
+        """Sink-side nodes of a bipartite pattern."""
+        return frozenset(n for n in self._nodes if self._in.get(n))
+
+    # ------------------------------------------------------------------
+    # Derivations
+    # ------------------------------------------------------------------
+
+    def with_edges(
+        self, edges: Iterable[tuple[PatternNode, PatternNode]]
+    ) -> "LabelPattern":
+        return LabelPattern(self._edges | set(edges), nodes=self._nodes)
+
+    def relabeled(self, suffix: str) -> "LabelPattern":
+        """A copy with every node name suffixed (used for disjoint unions)."""
+        renamed = {n: n.rename(f"{n.name}{suffix}") for n in self._nodes}
+        return LabelPattern(
+            [(renamed[u], renamed[v]) for u, v in self._edges],
+            nodes=renamed.values(),
+        )
+
+
+def pattern_conjunction(patterns: Sequence[LabelPattern]) -> LabelPattern:
+    """The conjunction ``g_1 /\\ ... /\\ g_k`` as a single pattern.
+
+    A ranking satisfies the conjunction iff it satisfies every conjunct,
+    each with its own embedding.  The conjunction is therefore the disjoint
+    union of the conjuncts: node names are suffixed with the conjunct index
+    so witnesses are never accidentally unified (see the module docstring).
+    """
+    if not patterns:
+        raise ValueError("conjunction of zero patterns is undefined")
+    if len(patterns) == 1:
+        return patterns[0]
+    edges: list[tuple[PatternNode, PatternNode]] = []
+    nodes: list[PatternNode] = []
+    for index, pattern in enumerate(patterns):
+        part = pattern.relabeled(f"&{index}")
+        edges.extend(part.edges)
+        nodes.extend(part.nodes)
+    return LabelPattern(edges, nodes=nodes)
+
+
+def chain_pattern(nodes: Sequence[PatternNode]) -> LabelPattern:
+    """A total order of nodes as a pattern: ``n1 > n2 > ... > nk``."""
+    edges = [(nodes[i], nodes[i + 1]) for i in range(len(nodes) - 1)]
+    return LabelPattern(edges, nodes=nodes)

@@ -1,0 +1,132 @@
+"""Pattern unions ``G = g_1 ∪ ... ∪ g_z`` (Section 3.3).
+
+A pattern union is the inference unit of the paper: a non-itemwise CQ
+decomposes into a union of itemwise CQs, each equivalent to a label pattern,
+and query evaluation reduces to the marginal probability that a random
+ranking satisfies *at least one* pattern of the union.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Iterator
+
+from repro.patterns.labels import Labeling
+from repro.patterns.pattern import LabelPattern, PatternNode
+
+Label = Hashable
+Item = Hashable
+
+
+class PatternUnion:
+    """An immutable union of label patterns.
+
+    Duplicate patterns are collapsed (they are logically idempotent under
+    union) while the order of first appearance is preserved so that solver
+    traces and benchmark output are deterministic.
+    """
+
+    __slots__ = ("_patterns",)
+
+    def __init__(self, patterns: Iterable[LabelPattern]):
+        unique: list[LabelPattern] = []
+        seen: set[LabelPattern] = set()
+        for pattern in patterns:
+            if pattern not in seen:
+                seen.add(pattern)
+                unique.append(pattern)
+        if not unique:
+            raise ValueError("a pattern union needs at least one pattern")
+        self._patterns = tuple(unique)
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def patterns(self) -> tuple[LabelPattern, ...]:
+        return self._patterns
+
+    @property
+    def z(self) -> int:
+        """The paper's ``z``: number of patterns in the union."""
+        return len(self._patterns)
+
+    def __len__(self) -> int:
+        return len(self._patterns)
+
+    def __iter__(self) -> Iterator[LabelPattern]:
+        return iter(self._patterns)
+
+    def __getitem__(self, index: int) -> LabelPattern:
+        return self._patterns[index]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PatternUnion):
+            return NotImplemented
+        return set(self._patterns) == set(other._patterns)
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._patterns))
+
+    def __repr__(self) -> str:
+        return "PatternUnion(" + " | ".join(map(repr, self._patterns)) + ")"
+
+    # ------------------------------------------------------------------
+    # Classification (drives solver dispatch)
+    # ------------------------------------------------------------------
+
+    def is_two_label(self) -> bool:
+        """True iff every pattern is a single-edge, two-node pattern."""
+        return all(p.is_two_label() for p in self._patterns)
+
+    def is_bipartite(self) -> bool:
+        """True iff every pattern is bipartite (Section 4.3)."""
+        return all(p.is_bipartite() for p in self._patterns)
+
+    # ------------------------------------------------------------------
+    # Aggregate structure
+    # ------------------------------------------------------------------
+
+    @property
+    def all_nodes(self) -> frozenset[PatternNode]:
+        nodes: set[PatternNode] = set()
+        for pattern in self._patterns:
+            nodes |= pattern.nodes
+        return frozenset(nodes)
+
+    @property
+    def all_labels(self) -> frozenset[Label]:
+        labels: set[Label] = set()
+        for pattern in self._patterns:
+            for pattern_node in pattern.nodes:
+                labels |= pattern_node.labels
+        return frozenset(labels)
+
+    def total_label_count(self) -> int:
+        """The paper's ``q * z`` driver of exact-solver complexity."""
+        return sum(p.size for p in self._patterns)
+
+    def relevant_items(self, labeling: Labeling) -> frozenset[Item]:
+        """Items that can be embedded at *some* node of *some* pattern.
+
+        Only these items influence whether a ranking satisfies the union;
+        all other items merely shift positions.  The lifted solver exploits
+        this (see :mod:`repro.solvers.lifted`).
+        """
+        relevant: set[Item] = set()
+        for pattern_node in self.all_nodes:
+            relevant |= labeling.items_matching(pattern_node.labels)
+        return frozenset(relevant)
+
+    def served_nodes_of(self, item: Item, labeling: Labeling) -> frozenset[PatternNode]:
+        """All union nodes this item can be embedded at (its *signature*)."""
+        item_labels = labeling.labels_of(item)
+        return frozenset(
+            pattern_node
+            for pattern_node in self.all_nodes
+            if pattern_node.labels <= item_labels
+        )
+
+    def restrict(self, indices: Iterable[int]) -> "PatternUnion":
+        """The sub-union of the patterns at the given indices."""
+        return PatternUnion([self._patterns[i] for i in indices])

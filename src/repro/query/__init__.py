@@ -1,0 +1,56 @@
+"""Conjunctive queries over RIM-PPDs (Sections 1 and 3 of the paper).
+
+The pipeline:
+
+1. :mod:`repro.query.ast` / :mod:`repro.query.parser` — query representation
+   and a small Datalog-like text syntax;
+2. :mod:`repro.query.classify` — sessionwise / itemwise / non-itemwise
+   classification and the grounding set ``V+(Q)``;
+3. :mod:`repro.query.ground` — Algorithm 2: rewrite a non-itemwise CQ as a
+   union of itemwise CQs by instantiating ``V+(Q)`` over active domains;
+4. :mod:`repro.query.compile` — itemwise CQ → label pattern + labeling;
+5. :mod:`repro.query.engine` — per-session inference, independent-session
+   aggregation, and the identical-request grouping of Section 6.4;
+6. :mod:`repro.query.aggregates` — Count-Session and Most-Probable-Session
+   (with the top-k upper-bound optimization of Section 3.2).
+"""
+
+from repro.query.aggregates import (
+    aggregate_session_attribute,
+    count_session,
+    most_probable_session,
+)
+from repro.query.ast import (
+    Comparison,
+    ConjunctiveQuery,
+    Constant,
+    OAtom,
+    PAtom,
+    Variable,
+    WILDCARD,
+)
+from repro.query.classify import QueryAnalysis, UnsupportedQueryError, analyze
+from repro.query.engine import QueryResult, SessionEvaluation, evaluate
+from repro.query.ground import decompose_query
+from repro.query.parser import parse_query
+
+__all__ = [
+    "Variable",
+    "Constant",
+    "WILDCARD",
+    "PAtom",
+    "OAtom",
+    "Comparison",
+    "ConjunctiveQuery",
+    "parse_query",
+    "analyze",
+    "QueryAnalysis",
+    "UnsupportedQueryError",
+    "decompose_query",
+    "evaluate",
+    "QueryResult",
+    "SessionEvaluation",
+    "count_session",
+    "most_probable_session",
+    "aggregate_session_attribute",
+]

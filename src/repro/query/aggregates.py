@@ -1,0 +1,311 @@
+"""Count-Session and Most-Probable-Session queries (Section 3.2).
+
+* ``count(Q)`` — the expected number of sessions satisfying ``Q`` under the
+  possible-world semantics: ``sum_i Pr(Q | s_i)``.
+* ``top(Q, k)`` — the ``k`` sessions satisfying ``Q`` with the highest
+  probability.  Two strategies:
+
+  - **naive**: evaluate every session exactly, sort;
+  - **upper_bound** (the paper's top-k optimization): first compute a cheap
+    upper bound per session via the ease-heuristic edge selection
+    (Section 4.3.2, 1 or 2 edges per pattern), then evaluate sessions
+    exactly in descending upper-bound order, stopping as soon as the k-th
+    best exact probability is at least the largest remaining upper bound.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Hashable
+
+import numpy as np
+
+from repro.db.database import PPDatabase
+from repro.patterns.labels import Labeling
+from repro.patterns.union import PatternUnion
+from repro.query.ast import ConjunctiveQuery
+from repro.query.classify import analyze
+from repro.query.compile import labeling_for_patterns
+from repro.query.engine import (
+    SessionWork,
+    compile_session_work,
+    evaluate,
+    solve_session,
+)
+from repro.rim.mixture import MallowsMixture
+from repro.solvers.upper_bound import upper_bound_probability
+
+SessionKey = tuple[Hashable, ...]
+
+
+@dataclass
+class CountResult:
+    """The expectation of count(Q) with its per-session breakdown."""
+
+    expectation: float
+    per_session: list[tuple[SessionKey, float]]
+    seconds: float
+    method: str
+
+
+def count_session(
+    query: ConjunctiveQuery,
+    db: PPDatabase,
+    method: str = "auto",
+    rng: np.random.Generator | None = None,
+    **solver_options,
+) -> CountResult:
+    """``count(Q)``: the expected number of satisfying sessions."""
+    started = time.perf_counter()
+    result = evaluate(query, db, method=method, rng=rng, **solver_options)
+    per_session = [
+        (evaluation.key, evaluation.probability)
+        for evaluation in result.per_session
+    ]
+    return CountResult(
+        expectation=float(sum(p for _, p in per_session)),
+        per_session=per_session,
+        seconds=time.perf_counter() - started,
+        method=method,
+    )
+
+
+@dataclass
+class AttributeAggregateResult:
+    """An aggregate of a session attribute over the satisfying sessions."""
+
+    expectation: float
+    probability_any: float
+    weighted_average: float
+    n_worlds: int
+    per_session: list[tuple[SessionKey, float, float]]  # (key, Pr, value)
+    seconds: float
+
+
+def aggregate_session_attribute(
+    query: ConjunctiveQuery,
+    db: PPDatabase,
+    relation: str,
+    column: str,
+    statistic: str = "mean",
+    n_worlds: int = 10_000,
+    rng: np.random.Generator | None = None,
+    method: str = "auto",
+    **solver_options,
+) -> AttributeAggregateResult:
+    """The paper's future-work aggregation queries (Section 7).
+
+    Example: *the average age of voters who prefer a Republican to a
+    Democrat*.  Under possible-world semantics the answer is the
+    expectation, over worlds, of the statistic of the attribute among the
+    sessions satisfying ``Q`` in that world (conditioned on at least one
+    satisfying session).
+
+    The per-session probabilities ``Pr(Q | s_i)`` fully determine the joint
+    distribution of the satisfying set (sessions are independent), so the
+    expectation is computed by sampling Bernoulli vectors from those
+    probabilities — no further ranking inference is needed.  The closed-form
+    ratio estimate ``sum p_i v_i / sum p_i`` is reported alongside as
+    ``weighted_average``.
+
+    Parameters
+    ----------
+    relation, column:
+        The o-relation and column holding the attribute; the session's
+        first key component is matched against the relation's first column.
+    statistic:
+        ``"mean"`` or ``"sum"`` of the attribute over satisfying sessions.
+    """
+    if statistic not in ("mean", "sum"):
+        raise ValueError(f"unsupported statistic {statistic!r}")
+    started = time.perf_counter()
+    result = evaluate(query, db, method=method, rng=rng, **solver_options)
+    attribute_relation = db.orelation(relation)
+    column_index = attribute_relation.column_index(column)
+    per_session: list[tuple[SessionKey, float, float]] = []
+    for evaluation in result.per_session:
+        row = attribute_relation.first_row_where({0: evaluation.key[0]})
+        if row is None:
+            raise KeyError(
+                f"session {evaluation.key!r} has no row in {relation}"
+            )
+        per_session.append(
+            (evaluation.key, evaluation.probability, float(row[column_index]))
+        )
+
+    probabilities = np.array([p for _, p, _ in per_session])
+    values = np.array([v for _, _, v in per_session])
+    weighted_total = float(probabilities @ values)
+    probability_mass = float(probabilities.sum())
+    weighted_average = (
+        weighted_total / probability_mass if probability_mass > 0 else 0.0
+    )
+
+    if rng is None:
+        rng = np.random.default_rng(0)
+    draws = rng.random((n_worlds, len(per_session))) < probabilities
+    any_satisfied = draws.any(axis=1)
+    if statistic == "mean":
+        counts = draws.sum(axis=1)
+        sums = draws @ values
+        with np.errstate(invalid="ignore"):
+            world_values = np.where(counts > 0, sums / np.maximum(counts, 1), 0.0)
+        satisfied_values = world_values[any_satisfied]
+    else:
+        satisfied_values = (draws @ values)[any_satisfied]
+    expectation = float(satisfied_values.mean()) if len(satisfied_values) else 0.0
+
+    return AttributeAggregateResult(
+        expectation=expectation,
+        probability_any=float(any_satisfied.mean()),
+        weighted_average=weighted_average,
+        n_worlds=n_worlds,
+        per_session=per_session,
+        seconds=time.perf_counter() - started,
+    )
+
+
+@dataclass
+class TopKResult:
+    """The k most supportive sessions, with the optimization's effort stats."""
+
+    sessions: list[tuple[SessionKey, float]]
+    k: int
+    strategy: str
+    n_exact_evaluations: int
+    n_upper_bound_evaluations: int
+    seconds: float
+    upper_bound_seconds: float = 0.0
+    exact_seconds: float = 0.0
+    stats: dict = field(default_factory=dict)
+
+
+def _labeling_cache(db: PPDatabase, items) -> dict:
+    cache: dict[PatternUnion, Labeling] = {}
+
+    def labeling_of(union: PatternUnion) -> Labeling:
+        cached = cache.get(union)
+        if cached is None:
+            cached = labeling_for_patterns(union.patterns, items, db)
+            cache[union] = cached
+        return cached
+
+    return labeling_of
+
+
+def _session_upper_bound(
+    work: SessionWork, labeling: Labeling, n_edges: int
+) -> float:
+    """Upper bound of Pr(Q | s); mixtures marginalize per component."""
+    model = work.model
+    if isinstance(model, MallowsMixture):
+        bounds = [
+            upper_bound_probability(
+                component, labeling, work.union, n_edges=n_edges
+            ).probability
+            for component in model.components
+        ]
+        return model.marginalize(bounds)
+    return upper_bound_probability(
+        model, labeling, work.union, n_edges=n_edges
+    ).probability
+
+
+def most_probable_session(
+    query: ConjunctiveQuery,
+    db: PPDatabase,
+    k: int,
+    strategy: str = "upper_bound",
+    n_edges: int = 1,
+    method: str = "auto",
+    rng: np.random.Generator | None = None,
+    session_limit: int | None = None,
+    **solver_options,
+) -> TopKResult:
+    """``top(Q, k)``: the k sessions most likely to satisfy ``Q``.
+
+    Parameters
+    ----------
+    strategy:
+        ``"naive"`` evaluates every session exactly; ``"upper_bound"``
+        applies the paper's top-k optimization with ``n_edges`` selected
+        constraint edges per pattern (1 -> two-label bounds, 2+ ->
+        bipartite bounds).
+    """
+    if k < 1:
+        raise ValueError("k must be at least 1")
+    if strategy not in ("naive", "upper_bound"):
+        raise ValueError(f"unknown strategy {strategy!r}")
+    started = time.perf_counter()
+    analysis = analyze(query, db)
+    items = db.prelation(analysis.p_relation).items
+    works = compile_session_work(
+        query, db, analysis=analysis, session_limit=session_limit
+    )
+    labeling_of = _labeling_cache(db, items)
+
+    def exact_probability(work: SessionWork) -> float:
+        if work.union is None:
+            return 0.0
+        probability, _ = solve_session(
+            work.model,
+            labeling_of(work.union),
+            work.union,
+            method=method,
+            rng=rng,
+            **solver_options,
+        )
+        return probability
+
+    if strategy == "naive":
+        exact_started = time.perf_counter()
+        scored = [(work.key, exact_probability(work)) for work in works]
+        exact_seconds = time.perf_counter() - exact_started
+        scored.sort(key=lambda pair: (-pair[1], repr(pair[0])))
+        return TopKResult(
+            sessions=scored[:k],
+            k=k,
+            strategy=strategy,
+            n_exact_evaluations=len(works),
+            n_upper_bound_evaluations=0,
+            seconds=time.perf_counter() - started,
+            exact_seconds=exact_seconds,
+        )
+
+    # --- upper-bound strategy -------------------------------------------
+    ub_started = time.perf_counter()
+    bounded: list[tuple[float, SessionWork]] = []
+    for work in works:
+        if work.union is None:
+            bounded.append((0.0, work))
+            continue
+        bound = _session_upper_bound(work, labeling_of(work.union), n_edges)
+        bounded.append((bound, work))
+    upper_bound_seconds = time.perf_counter() - ub_started
+    bounded.sort(key=lambda pair: (-pair[0], repr(pair[1].key)))
+
+    exact_started = time.perf_counter()
+    confirmed: list[tuple[SessionKey, float]] = []
+    n_exact = 0
+    for index, (bound, work) in enumerate(bounded):
+        if len(confirmed) >= k:
+            kth_best = sorted((p for _, p in confirmed), reverse=True)[k - 1]
+            if kth_best >= bound:
+                break  # no remaining session can beat the current top-k
+        probability = exact_probability(work)
+        n_exact += 1
+        confirmed.append((work.key, probability))
+    exact_seconds = time.perf_counter() - exact_started
+    confirmed.sort(key=lambda pair: (-pair[1], repr(pair[0])))
+    return TopKResult(
+        sessions=confirmed[:k],
+        k=k,
+        strategy=strategy,
+        n_exact_evaluations=n_exact,
+        n_upper_bound_evaluations=len(works),
+        seconds=time.perf_counter() - started,
+        upper_bound_seconds=upper_bound_seconds,
+        exact_seconds=exact_seconds,
+        stats={"n_sessions": len(works), "n_edges": n_edges},
+    )

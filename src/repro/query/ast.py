@@ -1,0 +1,222 @@
+"""Abstract syntax of Boolean conjunctive queries over a RIM-PPD.
+
+A query is a conjunction of:
+
+* **P-atoms** ``P(s̄; a; b)`` — "in the session identified by terms ``s̄``,
+  item ``a`` is preferred to item ``b``";
+* **o-atoms** ``R(t1, ..., tk)`` — relational conditions over o-relations;
+* **comparisons** ``x <= 5`` — a variable against a constant.
+
+Terms are variables, constants, or the anonymous wildcard ``_`` (each
+occurrence of which is independent).  Only Boolean queries are represented:
+the head is empty and the semantics is the marginal probability that the
+query is satisfied in a random possible world.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Iterator, Sequence, Union
+
+
+@dataclass(frozen=True)
+class Variable:
+    """A named query variable."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Constant:
+    """A constant value (string, number, ...)."""
+
+    value: Hashable
+
+    def __repr__(self) -> str:
+        return repr(self.value)
+
+
+class _Wildcard:
+    """The anonymous term ``_``; every occurrence is independent."""
+
+    _instance = None
+
+    def __new__(cls):
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "_"
+
+
+#: The singleton wildcard term.
+WILDCARD = _Wildcard()
+
+Term = Union[Variable, Constant, _Wildcard]
+
+
+def is_variable(term: Term) -> bool:
+    return isinstance(term, Variable)
+
+
+def is_constant(term: Term) -> bool:
+    return isinstance(term, Constant)
+
+
+def is_wildcard(term: Term) -> bool:
+    return term is WILDCARD
+
+
+@dataclass(frozen=True)
+class PAtom:
+    """``relation(session_terms; left; right)`` — a preference atom."""
+
+    relation: str
+    session_terms: tuple[Term, ...]
+    left: Term
+    right: Term
+
+    def __repr__(self) -> str:
+        session = ", ".join(map(repr, self.session_terms))
+        return f"{self.relation}({session}; {self.left!r}; {self.right!r})"
+
+
+@dataclass(frozen=True)
+class OAtom:
+    """``relation(t1, ..., tk)`` — an ordinary relational atom."""
+
+    relation: str
+    terms: tuple[Term, ...]
+
+    def __repr__(self) -> str:
+        return f"{self.relation}({', '.join(map(repr, self.terms))})"
+
+
+#: Comparison operators supported in queries.
+COMPARISON_OPS = ("=", "!=", "<=", ">=", "<", ">")
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """``variable op constant`` — a selection condition."""
+
+    variable: Variable
+    op: str
+    value: Hashable
+
+    def __post_init__(self):
+        if self.op not in COMPARISON_OPS:
+            raise ValueError(f"unsupported comparison operator {self.op!r}")
+
+    def __repr__(self) -> str:
+        return f"{self.variable!r} {self.op} {self.value!r}"
+
+
+@dataclass(frozen=True)
+class ConjunctiveQuery:
+    """A Boolean CQ: a conjunction of P-atoms, o-atoms, and comparisons."""
+
+    p_atoms: tuple[PAtom, ...]
+    o_atoms: tuple[OAtom, ...] = ()
+    comparisons: tuple[Comparison, ...] = ()
+
+    def __post_init__(self):
+        if not self.p_atoms:
+            raise ValueError(
+                "a query over a RIM-PPD needs at least one preference atom"
+            )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def variables(self) -> set[Variable]:
+        """All variables occurring anywhere in the query."""
+        result: set[Variable] = set()
+        for atom in self.p_atoms:
+            for term in (*atom.session_terms, atom.left, atom.right):
+                if is_variable(term):
+                    result.add(term)
+        for atom in self.o_atoms:
+            for term in atom.terms:
+                if is_variable(term):
+                    result.add(term)
+        for comparison in self.comparisons:
+            result.add(comparison.variable)
+        return result
+
+    def item_terms(self) -> list[Term]:
+        """Terms in preference (item) positions, in atom order."""
+        terms: list[Term] = []
+        for atom in self.p_atoms:
+            terms.append(atom.left)
+            terms.append(atom.right)
+        return terms
+
+    def item_variables(self) -> set[Variable]:
+        return {t for t in self.item_terms() if is_variable(t)}
+
+    def session_variables(self) -> set[Variable]:
+        return {
+            term
+            for atom in self.p_atoms
+            for term in atom.session_terms
+            if is_variable(term)
+        }
+
+    def substitute(self, assignment: dict[Variable, Hashable]) -> "ConjunctiveQuery":
+        """Replace variables by constants according to ``assignment``."""
+
+        def sub(term: Term) -> Term:
+            if is_variable(term) and term in assignment:
+                return Constant(assignment[term])
+            return term
+
+        p_atoms = tuple(
+            PAtom(
+                a.relation,
+                tuple(sub(t) for t in a.session_terms),
+                sub(a.left),
+                sub(a.right),
+            )
+            for a in self.p_atoms
+        )
+        o_atoms = tuple(
+            OAtom(a.relation, tuple(sub(t) for t in a.terms))
+            for a in self.o_atoms
+        )
+        comparisons = []
+        for c in self.comparisons:
+            if c.variable in assignment:
+                # The comparison becomes ground; callers must have checked
+                # it holds (grounding only assigns values passing selections).
+                continue
+            comparisons.append(c)
+        return ConjunctiveQuery(p_atoms, o_atoms, tuple(comparisons))
+
+    def atoms_repr(self) -> str:
+        parts: list[str] = [repr(a) for a in self.p_atoms]
+        parts += [repr(a) for a in self.o_atoms]
+        parts += [repr(c) for c in self.comparisons]
+        return ", ".join(parts)
+
+    def __repr__(self) -> str:
+        return f"Q() <- {self.atoms_repr()}"
+
+    def __iter__(self) -> Iterator:
+        yield from self.p_atoms
+        yield from self.o_atoms
+        yield from self.comparisons
+
+
+def query(
+    p_atoms: Sequence[PAtom],
+    o_atoms: Sequence[OAtom] = (),
+    comparisons: Sequence[Comparison] = (),
+) -> ConjunctiveQuery:
+    """Convenience constructor with sequence arguments."""
+    return ConjunctiveQuery(tuple(p_atoms), tuple(o_atoms), tuple(comparisons))

@@ -1,0 +1,228 @@
+"""Query classification: sessionwise / itemwise / non-itemwise, and V+(Q).
+
+Terminology (Section 3.1 of the paper):
+
+* a CQ is **sessionwise** when all its preference atoms refer to the same
+  session — the class this engine evaluates;
+* a sessionwise CQ is **itemwise** when it is equivalent to a label pattern
+  per session: every relational condition applies to a single item variable
+  independently;
+* otherwise it is **non-itemwise**: some variable couples the conditions of
+  different item variables (the paper's hard queries).  The set of
+  variables to ground, ``V+(Q)``, consists of exactly those coupling
+  variables; instantiating them over their active domains (Algorithm 2)
+  rewrites the query as a union of itemwise CQs.
+
+Supported query shape (documented conventions):
+
+* all P-atoms use one p-relation and syntactically identical session terms;
+* an o-atom constrains an item (or session) variable by carrying it in its
+  *first* column — the identifier column;
+* an o-atom mentions at most one item variable and never mixes item and
+  session variables (use separate atoms and shared attribute variables).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable
+
+from repro.query.ast import (
+    Comparison,
+    ConjunctiveQuery,
+    Constant,
+    OAtom,
+    Variable,
+    is_constant,
+    is_variable,
+    is_wildcard,
+)
+
+
+class UnsupportedQueryError(ValueError):
+    """Raised for queries outside the supported (paper's) fragment."""
+
+
+@dataclass
+class QueryAnalysis:
+    """The structural analysis of a sessionwise CQ."""
+
+    query: ConjunctiveQuery  # after equality folding
+    p_relation: str
+    session_terms: tuple
+    session_variables: set[Variable]
+    item_variables: set[Variable]
+    #: o-atoms constraining each item variable
+    item_atoms: dict[Variable, list[OAtom]]
+    #: o-atoms joined on a session variable (first column)
+    session_atoms: list[OAtom]
+    #: ground (or groundable) o-atoms mentioning no item/session variable
+    global_atoms: list[OAtom]
+    #: attribute variables bound through a session atom (substituted per session)
+    session_bound: set[Variable]
+    #: V+(Q): attribute variables that must be grounded (Algorithm 2)
+    groundable: set[Variable]
+    #: remaining comparisons per variable (inequalities; equalities folded)
+    comparisons: dict[Variable, list[Comparison]] = field(default_factory=dict)
+
+    @property
+    def is_itemwise(self) -> bool:
+        """True iff no grounding is needed (given per-session bindings)."""
+        return not self.groundable
+
+
+def _fold_equalities(query: ConjunctiveQuery) -> ConjunctiveQuery | None:
+    """Substitute ``x = c`` comparisons; None when they contradict."""
+    assignment: dict[Variable, Hashable] = {}
+    for comparison in query.comparisons:
+        if comparison.op != "=":
+            continue
+        existing = assignment.get(comparison.variable)
+        if existing is not None and existing != comparison.value:
+            return None
+        assignment[comparison.variable] = comparison.value
+    if not assignment:
+        return query
+    return query.substitute(assignment)
+
+
+def analyze(query: ConjunctiveQuery, db) -> QueryAnalysis:
+    """Analyze and validate a query against the database schema.
+
+    Raises :class:`UnsupportedQueryError` for non-sessionwise queries and
+    shapes outside the supported fragment (see module docstring).
+    """
+    folded = _fold_equalities(query)
+    if folded is None:
+        raise UnsupportedQueryError(
+            "contradictory equality comparisons make the query trivially false"
+        )
+    query = folded
+
+    # --- P-atoms: one relation, one session ---------------------------
+    relations = {atom.relation for atom in query.p_atoms}
+    if len(relations) != 1:
+        raise UnsupportedQueryError(
+            f"all preference atoms must use one p-relation, found {sorted(relations)}"
+        )
+    p_relation = next(iter(relations))
+    if p_relation not in db.prelations:
+        raise UnsupportedQueryError(f"unknown p-relation {p_relation!r}")
+    session_terms = query.p_atoms[0].session_terms
+    expected_arity = len(db.prelation(p_relation).session_columns)
+    for atom in query.p_atoms:
+        if len(atom.session_terms) != expected_arity:
+            raise UnsupportedQueryError(
+                f"{p_relation} sessions have {expected_arity} columns; "
+                f"atom {atom!r} provides {len(atom.session_terms)}"
+            )
+        if atom.session_terms != session_terms:
+            raise UnsupportedQueryError(
+                "non-sessionwise query: preference atoms name different sessions"
+            )
+    # Note on wildcards in session terms: following the paper's notation
+    # (e.g. the Figure 14 query "P(_; 223; 111), P(_; x; 111)"), identical
+    # session-term tuples are interpreted as referring to one shared
+    # session even when they contain wildcards — the sessionwise reading.
+
+    session_variables = {t for t in session_terms if is_variable(t)}
+    item_variables = query.item_variables()
+    overlap = session_variables & item_variables
+    if overlap:
+        raise UnsupportedQueryError(
+            f"variables used both as session and item: {sorted(v.name for v in overlap)}"
+        )
+
+    # --- o-atoms -------------------------------------------------------
+    item_atoms: dict[Variable, list[OAtom]] = {v: [] for v in item_variables}
+    session_atoms: list[OAtom] = []
+    global_atoms: list[OAtom] = []
+    for atom in query.o_atoms:
+        if atom.relation not in db.orelations:
+            raise UnsupportedQueryError(f"unknown o-relation {atom.relation!r}")
+        if len(atom.terms) != db.orelation(atom.relation).arity:
+            raise UnsupportedQueryError(
+                f"atom {atom!r} does not match the arity of {atom.relation}"
+            )
+        mentioned_items = [t for t in atom.terms if t in item_variables]
+        mentioned_sessions = [t for t in atom.terms if t in session_variables]
+        if mentioned_items and mentioned_sessions:
+            raise UnsupportedQueryError(
+                f"atom {atom!r} mixes item and session variables"
+            )
+        if len(set(mentioned_items)) > 1:
+            raise UnsupportedQueryError(
+                f"atom {atom!r} mentions several item variables"
+            )
+        if mentioned_items:
+            variable = mentioned_items[0]
+            if atom.terms[0] != variable:
+                raise UnsupportedQueryError(
+                    f"item variable {variable!r} must be the first (identifier) "
+                    f"column of {atom!r}"
+                )
+            item_atoms[variable].append(atom)
+        elif mentioned_sessions:
+            variable = mentioned_sessions[0]
+            if atom.terms[0] != variable or len(set(mentioned_sessions)) > 1:
+                raise UnsupportedQueryError(
+                    f"session variable must be the first column of {atom!r}"
+                )
+            session_atoms.append(atom)
+        else:
+            global_atoms.append(atom)
+
+    # Item constants in preference positions are always fine (identity
+    # labels); item variables need no o-atom (unconstrained node).
+
+    # --- attribute variables --------------------------------------------
+    attribute_occurrences: dict[Variable, int] = {}
+
+    def count_occurrences(atoms: list[OAtom]) -> None:
+        for atom in atoms:
+            seen_here: set[Variable] = set()
+            for term in atom.terms[1:] if atom.terms else ():
+                if (
+                    is_variable(term)
+                    and term not in item_variables
+                    and term not in session_variables
+                    and term not in seen_here
+                ):
+                    seen_here.add(term)
+                    attribute_occurrences[term] = (
+                        attribute_occurrences.get(term, 0) + 1
+                    )
+
+    for atoms in item_atoms.values():
+        count_occurrences(atoms)
+    count_occurrences(global_atoms)
+
+    session_bound: set[Variable] = set()
+    for atom in session_atoms:
+        for term in atom.terms[1:]:
+            if is_variable(term) and term not in session_variables:
+                session_bound.add(term)
+
+    groundable = {
+        variable
+        for variable, count in attribute_occurrences.items()
+        if count >= 2 and variable not in session_bound
+    }
+
+    comparisons: dict[Variable, list[Comparison]] = {}
+    for comparison in query.comparisons:
+        comparisons.setdefault(comparison.variable, []).append(comparison)
+
+    return QueryAnalysis(
+        query=query,
+        p_relation=p_relation,
+        session_terms=session_terms,
+        session_variables=session_variables,
+        item_variables=item_variables,
+        item_atoms=item_atoms,
+        session_atoms=session_atoms,
+        global_atoms=global_atoms,
+        session_bound=session_bound,
+        groundable=groundable,
+        comparisons=comparisons,
+    )

@@ -1,0 +1,221 @@
+"""Compile itemwise CQs into label patterns and labelings.
+
+An itemwise CQ states preferences among item variables/constants plus
+independent per-item conditions.  Compilation turns:
+
+* each item variable into a pattern node whose labels are
+  :class:`ConditionLabel` objects — one per o-atom constraining the
+  variable (the node's label *conjunction*);
+* each item constant into a node carrying an :class:`IdentityLabel`;
+* each wildcard item term into an unconstrained node (empty label set);
+* each preference atom into a pattern edge.
+
+The labeling function assigns an item every condition label it satisfies,
+evaluated against the database's o-relations (the item identifier is the
+first column of the constraining relation, by convention).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Iterable
+
+from repro.db.database import PPDatabase
+from repro.patterns.labels import Labeling
+from repro.patterns.pattern import LabelPattern, PatternNode
+from repro.query.ast import (
+    Comparison,
+    ConjunctiveQuery,
+    OAtom,
+    Variable,
+    is_constant,
+    is_variable,
+    is_wildcard,
+)
+from repro.query.classify import QueryAnalysis, UnsupportedQueryError, analyze
+
+Item = Hashable
+
+
+@dataclass(frozen=True)
+class ConditionLabel:
+    """A per-item relational condition usable as a pattern label.
+
+    An item carries this label when *some* row of ``relation`` has the item
+    in its first column and satisfies all equalities, predicates, and
+    same-value constraints.
+    """
+
+    relation: str
+    equalities: tuple[tuple[int, Hashable], ...] = ()
+    predicates: tuple[tuple[int, str, Hashable], ...] = ()
+    same_pairs: tuple[tuple[int, int], ...] = ()
+
+    def __repr__(self) -> str:
+        parts = [f"{self.relation}[{pos}]={val!r}" for pos, val in self.equalities]
+        parts += [
+            f"{self.relation}[{pos}]{op}{val!r}"
+            for pos, op, val in self.predicates
+        ]
+        parts += [f"{self.relation}[{a}]={self.relation}[{b}]" for a, b in self.same_pairs]
+        return "&".join(parts) if parts else f"{self.relation}[any]"
+
+
+@dataclass(frozen=True)
+class IdentityLabel:
+    """The label carried only by one specific item."""
+
+    item: Hashable
+
+    def __repr__(self) -> str:
+        return f"item={self.item!r}"
+
+
+def condition_label(
+    atom: OAtom,
+    variable: Variable,
+    comparisons: dict[Variable, list[Comparison]],
+) -> ConditionLabel:
+    """The condition label of one o-atom constraining ``variable``.
+
+    Assumes the query is itemwise: every remaining attribute variable in the
+    atom is atom-local (verified by the caller's analysis).
+    """
+    equalities: list[tuple[int, Hashable]] = []
+    predicates: list[tuple[int, str, Hashable]] = []
+    positions_of: dict[Variable, list[int]] = {}
+    for position, term in enumerate(atom.terms):
+        if position == 0:
+            continue  # the item identifier column
+        if is_wildcard(term):
+            continue
+        if is_constant(term):
+            equalities.append((position, term.value))
+            continue
+        if term == variable:
+            raise UnsupportedQueryError(
+                f"item variable {variable!r} may only appear in the first "
+                f"column of {atom!r}"
+            )
+        positions_of.setdefault(term, []).append(position)
+    same_pairs: list[tuple[int, int]] = []
+    for term, positions in positions_of.items():
+        for comparison in comparisons.get(term, []):
+            predicates.append((positions[0], comparison.op, comparison.value))
+        for extra in positions[1:]:
+            same_pairs.append((positions[0], extra))
+    return ConditionLabel(
+        relation=atom.relation,
+        equalities=tuple(sorted(equalities)),
+        predicates=tuple(sorted(predicates)),
+        same_pairs=tuple(sorted(same_pairs)),
+    )
+
+
+def compile_itemwise(
+    query: ConjunctiveQuery, db: PPDatabase, analysis: QueryAnalysis | None = None
+) -> LabelPattern | None:
+    """Compile an itemwise CQ into its label pattern.
+
+    Returns ``None`` when the query is unsatisfiable outright: a preference
+    atom comparing a term with itself, or a ground global atom with no
+    witnessing row.
+    """
+    if analysis is None:
+        analysis = analyze(query, db)
+    if analysis.groundable:
+        raise UnsupportedQueryError(
+            f"query is not itemwise; ground V+ = "
+            f"{sorted(v.name for v in analysis.groundable)} first (Algorithm 2)"
+        )
+
+    # Ground global atoms are deterministic existence checks.
+    for atom in analysis.global_atoms:
+        if any(is_variable(t) for t in atom.terms):
+            raise UnsupportedQueryError(
+                f"global atom {atom!r} still contains variables after grounding"
+            )
+        relation = db.orelation(atom.relation)
+        conditions = {
+            position: term.value
+            for position, term in enumerate(atom.terms)
+            if is_constant(term)
+        }
+        if relation.first_row_where(conditions) is None:
+            return None  # the conjunct is false in every world
+
+    # --- nodes ----------------------------------------------------------
+    nodes: dict[object, PatternNode] = {}
+    wildcard_counter = 0
+
+    def node_for(term) -> PatternNode:
+        nonlocal wildcard_counter
+        if is_variable(term):
+            if term not in nodes:
+                labels = frozenset(
+                    condition_label(atom, term, analysis.comparisons)
+                    for atom in analysis.item_atoms.get(term, [])
+                )
+                nodes[term] = PatternNode(term.name, labels)
+            return nodes[term]
+        if is_constant(term):
+            key = ("const", term.value)
+            if key not in nodes:
+                nodes[key] = PatternNode(
+                    f"item={term.value!r}", frozenset({IdentityLabel(term.value)})
+                )
+            return nodes[key]
+        # Wildcard: a fresh unconstrained node per occurrence.
+        wildcard_counter += 1
+        fresh = PatternNode(f"any#{wildcard_counter}", frozenset())
+        nodes[("any", wildcard_counter)] = fresh
+        return fresh
+
+    edges = []
+    for atom in analysis.query.p_atoms:
+        left = node_for(atom.left)
+        right = node_for(atom.right)
+        if left == right:
+            return None  # x preferred to x: unsatisfiable (irreflexive)
+        edges.append((left, right))
+    return LabelPattern(edges, nodes=nodes.values())
+
+
+def labeling_for_labels(
+    labels: Iterable[Hashable], items: Iterable[Item], db: PPDatabase
+) -> Labeling:
+    """Evaluate condition/identity labels over the item universe."""
+    labels = list(labels)
+    mapping: dict[Item, set[Hashable]] = {}
+    for item in items:
+        carried: set[Hashable] = set()
+        for label in labels:
+            if _item_carries(item, label, db):
+                carried.add(label)
+        mapping[item] = carried
+    return Labeling(mapping)
+
+
+def labeling_for_patterns(
+    patterns: Iterable[LabelPattern], items: Iterable[Item], db: PPDatabase
+) -> Labeling:
+    """The labeling needed to match the given patterns."""
+    labels: set[Hashable] = set()
+    for pattern in patterns:
+        for node in pattern.nodes:
+            labels |= node.labels
+    return labeling_for_labels(labels, items, db)
+
+
+def _item_carries(item: Item, label: Hashable, db: PPDatabase) -> bool:
+    if isinstance(label, IdentityLabel):
+        return item == label.item
+    if isinstance(label, ConditionLabel):
+        return db.item_satisfies(
+            item,
+            label.relation,
+            dict(label.equalities),
+            label.predicates,
+            label.same_pairs,
+        )
+    raise TypeError(f"unknown label type: {type(label).__name__}")

@@ -1,0 +1,373 @@
+"""The query engine: per-session inference and aggregation.
+
+Evaluation of a Boolean CQ ``Q`` over a RIM-PPD ``D`` (Section 3.1):
+
+1. analyze and validate the query (sessionwise check);
+2. select the sessions matching the session terms / comparisons;
+3. per session: substitute session-bound attribute variables (from o-atoms
+   joined on the session, e.g. voter demographics), ground ``V+(Q)``
+   (Algorithm 2), and compile the resulting union of itemwise CQs into a
+   union of label patterns;
+4. compute ``Pr(Q | s)`` per session — exactly (dispatching to the
+   two-label / bipartite / general solver) or approximately (MIS-AMP
+   solvers); mixtures of Mallows marginalize over components;
+5. aggregate across independent sessions:
+   ``Pr(Q | D) = 1 - prod_i (1 - Pr(Q | s_i))``.
+
+Identical-request grouping (Section 6.4): many sessions share the same
+(model, pattern-union) pair; with ``group_sessions=True`` (default) each
+distinct pair is solved once.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Hashable
+
+import numpy as np
+
+from repro.approx.adaptive import mis_amp_adaptive
+from repro.approx.lite import mis_amp_lite
+from repro.db.database import PPDatabase, _compare
+from repro.patterns.labels import Labeling
+from repro.patterns.matching import union_predicate
+from repro.patterns.union import PatternUnion
+from repro.query.ast import ConjunctiveQuery, is_constant, is_variable
+from repro.query.classify import QueryAnalysis, analyze
+from repro.query.compile import compile_itemwise, labeling_for_patterns
+from repro.query.ground import decompose_query
+from repro.rim.mixture import MallowsMixture
+from repro.rim.sampling import empirical_probability
+from repro.solvers.dispatch import solve as exact_solve
+
+SessionKey = tuple[Hashable, ...]
+
+#: Approximate methods accepted by :func:`evaluate`.
+APPROXIMATE_METHODS = ("mis_amp_lite", "mis_amp_adaptive", "rejection")
+
+
+@dataclass
+class SessionWork:
+    """Everything needed to evaluate one session: model + compiled union."""
+
+    key: SessionKey
+    model: Any
+    union: PatternUnion | None  # None: the query is false on this session
+    labels: frozenset = frozenset()
+
+
+@dataclass
+class SessionEvaluation:
+    """Per-session outcome."""
+
+    key: SessionKey
+    probability: float
+    solver: str = ""
+
+
+@dataclass
+class QueryResult:
+    """The result of evaluating a Boolean CQ over a RIM-PPD."""
+
+    probability: float
+    per_session: list[SessionEvaluation]
+    n_sessions: int
+    n_solver_calls: int
+    n_groups: int
+    grouped: bool
+    method: str
+    seconds: float
+    stats: dict = field(default_factory=dict)
+
+    def session_probability(self, key: SessionKey) -> float:
+        for evaluation in self.per_session:
+            if evaluation.key == key:
+                return evaluation.probability
+        raise KeyError(f"no session {key!r} in the result")
+
+
+# ----------------------------------------------------------------------
+# Compilation of per-session work
+# ----------------------------------------------------------------------
+
+
+def compile_session_work(
+    query: ConjunctiveQuery,
+    db: PPDatabase,
+    analysis: QueryAnalysis | None = None,
+    session_limit: int | None = None,
+) -> list[SessionWork]:
+    """Select sessions and compile the pattern union of each."""
+    if analysis is None:
+        analysis = analyze(query, db)
+    prelation = db.prelation(analysis.p_relation)
+    works: list[SessionWork] = []
+    union_cache: dict[tuple, PatternUnion | None] = {}
+
+    for key in prelation.session_keys():
+        if session_limit is not None and len(works) >= session_limit:
+            break
+        binding = _bind_session_terms(analysis, key)
+        if binding is None:
+            continue
+        bindings = _session_atom_bindings(analysis, db, binding)
+        cache_key = tuple(
+            sorted(
+                (variable.name, value)
+                for assignment in bindings
+                for variable, value in assignment.items()
+            )
+        )
+        if cache_key in union_cache:
+            union = union_cache[cache_key]
+        else:
+            union = _compile_union(analysis, db, bindings)
+            union_cache[cache_key] = union
+        works.append(
+            SessionWork(key=key, model=prelation.model_of(key), union=union)
+        )
+    return works
+
+
+def _bind_session_terms(
+    analysis: QueryAnalysis, key: SessionKey
+) -> dict | None:
+    """Match a session key against the session terms; None on mismatch."""
+    binding: dict = {}
+    for term, value in zip(analysis.session_terms, key):
+        if is_constant(term):
+            if term.value != value:
+                return None
+        elif is_variable(term):
+            if term in binding and binding[term] != value:
+                return None
+            binding[term] = value
+    for variable, value in binding.items():
+        for comparison in analysis.comparisons.get(variable, []):
+            if not _compare(value, comparison.op, comparison.value):
+                return None
+    return binding
+
+
+def _session_atom_bindings(
+    analysis: QueryAnalysis, db: PPDatabase, session_binding: dict
+) -> list[dict]:
+    """Join the session atoms: assignments of session-bound variables.
+
+    Multiple matching rows produce multiple assignments (each a disjunct of
+    the per-session query); no matching rows produce the empty list — the
+    query is false on this session.
+    """
+    bindings: list[dict] = [{}]
+    for atom in analysis.session_atoms:
+        session_variable = atom.terms[0]
+        value = session_binding.get(session_variable)
+        if value is None:
+            return []  # session variable not bound by the key: cannot join
+        relation = db.orelation(atom.relation)
+        row_assignments: list[dict] = []
+        for row in relation.rows_where({0: value}):
+            assignment: dict = {}
+            consistent = True
+            for position, term in enumerate(atom.terms):
+                if position == 0 or is_variable(term) and term == session_variable:
+                    continue
+                if is_constant(term):
+                    if row[position] != term.value:
+                        consistent = False
+                        break
+                elif is_variable(term):
+                    if term in assignment and assignment[term] != row[position]:
+                        consistent = False
+                        break
+                    assignment[term] = row[position]
+            if not consistent:
+                continue
+            if not _assignment_passes_comparisons(analysis, assignment):
+                continue
+            row_assignments.append(assignment)
+        merged: list[dict] = []
+        for base in bindings:
+            for extra in row_assignments:
+                if all(base.get(k, v) == v for k, v in extra.items()):
+                    merged.append({**base, **extra})
+        bindings = merged
+        if not bindings:
+            return []
+    # Deduplicate assignments (different rows may bind identical values).
+    unique: list[dict] = []
+    seen: set[tuple] = set()
+    for assignment in bindings:
+        signature = tuple(sorted((v.name, val) for v, val in assignment.items()))
+        if signature not in seen:
+            seen.add(signature)
+            unique.append(assignment)
+    return unique
+
+
+def _assignment_passes_comparisons(
+    analysis: QueryAnalysis, assignment: dict
+) -> bool:
+    for variable, value in assignment.items():
+        for comparison in analysis.comparisons.get(variable, []):
+            if not _compare(value, comparison.op, comparison.value):
+                return False
+    return True
+
+
+def _compile_union(
+    analysis: QueryAnalysis, db: PPDatabase, bindings: list[dict]
+) -> PatternUnion | None:
+    """Union of patterns across session-atom bindings and V+ groundings."""
+    patterns = []
+    for assignment in bindings:
+        bound_query = analysis.query.substitute(
+            {variable: value for variable, value in assignment.items()}
+        )
+        bound_analysis = analyze(bound_query, db)
+        for _, grounded in decompose_query(bound_query, db, bound_analysis):
+            pattern = compile_itemwise(grounded, db)
+            if pattern is not None:
+                patterns.append(pattern)
+    if not patterns:
+        return None
+    return PatternUnion(patterns)
+
+
+# ----------------------------------------------------------------------
+# Solving
+# ----------------------------------------------------------------------
+
+
+def _solve_single_model(
+    model,
+    labeling: Labeling,
+    union: PatternUnion,
+    method: str,
+    rng: np.random.Generator | None,
+    options: dict,
+) -> tuple[float, str]:
+    if method in APPROXIMATE_METHODS and rng is None:
+        raise ValueError(f"method {method!r} requires an rng")
+    if method == "mis_amp_lite":
+        result = mis_amp_lite(model, labeling, union, rng=rng, **options)
+        return result.probability, result.solver
+    if method == "mis_amp_adaptive":
+        result = mis_amp_adaptive(model, labeling, union, rng=rng, **options)
+        return result.probability, result.solver
+    if method == "rejection":
+        n_samples = options.get("n_samples", 2000)
+        estimate = empirical_probability(
+            model, union_predicate(union, labeling), n_samples, rng
+        )
+        return estimate.estimate, "rejection"
+    result = exact_solve(model, labeling, union, method=method, **options)
+    return result.probability, result.solver
+
+
+def solve_session(
+    model,
+    labeling: Labeling,
+    union: PatternUnion,
+    method: str = "auto",
+    rng: np.random.Generator | None = None,
+    **options,
+) -> tuple[float, str]:
+    """``Pr(G)`` for one session model (marginalizing Mallows mixtures)."""
+    if isinstance(model, MallowsMixture):
+        probabilities = [
+            _solve_single_model(component, labeling, union, method, rng, options)[0]
+            for component in model.components
+        ]
+        return model.marginalize(probabilities), f"mixture[{method}]"
+    return _solve_single_model(model, labeling, union, method, rng, options)
+
+
+# ----------------------------------------------------------------------
+# Evaluation entry point
+# ----------------------------------------------------------------------
+
+
+def evaluate(
+    query: ConjunctiveQuery,
+    db: PPDatabase,
+    method: str = "auto",
+    rng: np.random.Generator | None = None,
+    group_sessions: bool = True,
+    session_limit: int | None = None,
+    **solver_options,
+) -> QueryResult:
+    """Evaluate a Boolean CQ: the probability it holds in a random world.
+
+    Parameters
+    ----------
+    method:
+        An exact solver name (``"auto"``, ``"two_label"``, ``"bipartite"``,
+        ``"general"``, ``"lifted"``, ``"brute"``) or an approximate one
+        (``"mis_amp_lite"``, ``"mis_amp_adaptive"``, ``"rejection"``).
+    group_sessions:
+        Solve each distinct (model, union) pair once (Section 6.4).
+    session_limit:
+        Evaluate only the first N selected sessions (for scalability
+        sweeps).
+    solver_options:
+        Forwarded to the chosen solver (e.g. ``n_proposals=10`` for
+        MIS-AMP-lite, ``time_budget=60`` for exact solvers).
+    """
+    started = time.perf_counter()
+    works = compile_session_work(query, db, session_limit=session_limit)
+    prelation_items = db.prelation(analyze(query, db).p_relation).items
+
+    labeling_cache: dict[PatternUnion, Labeling] = {}
+
+    def labeling_of(union: PatternUnion) -> Labeling:
+        cached = labeling_cache.get(union)
+        if cached is None:
+            cached = labeling_for_patterns(
+                union.patterns, prelation_items, db
+            )
+            labeling_cache[union] = cached
+        return cached
+
+    per_session: list[SessionEvaluation] = []
+    n_solver_calls = 0
+    group_cache: dict[tuple, tuple[float, str]] = {}
+    group_keys: set[tuple] = set()
+    for work in works:
+        if work.union is None:
+            per_session.append(SessionEvaluation(work.key, 0.0, "unsatisfiable"))
+            continue
+        group_key = (id(work.model), work.union)
+        group_keys.add(group_key)
+        if group_sessions and group_key in group_cache:
+            probability, solver_name = group_cache[group_key]
+        else:
+            probability, solver_name = solve_session(
+                work.model,
+                labeling_of(work.union),
+                work.union,
+                method=method,
+                rng=rng,
+                **solver_options,
+            )
+            n_solver_calls += 1
+            if group_sessions:
+                group_cache[group_key] = (probability, solver_name)
+        per_session.append(
+            SessionEvaluation(work.key, probability, solver_name)
+        )
+
+    complement = 1.0
+    for evaluation in per_session:
+        complement *= 1.0 - min(1.0, max(0.0, evaluation.probability))
+    return QueryResult(
+        probability=1.0 - complement,
+        per_session=per_session,
+        n_sessions=len(per_session),
+        n_solver_calls=n_solver_calls,
+        n_groups=len(group_keys),
+        grouped=group_sessions,
+        method=method,
+        seconds=time.perf_counter() - started,
+    )

@@ -1,0 +1,67 @@
+"""Algorithm 2 — DecomposeQuery: ground V+(Q) into a union of itemwise CQs.
+
+Each variable of ``V+(Q)`` ranges over the intersection of the active
+domains of the o-relation columns in which it occurs, filtered by any
+comparison conditions on the variable.  The Cartesian product of those
+domains yields one instantiated (itemwise) query per combination; the
+original query holds iff at least one instantiation holds — a union that is
+neither disjoint nor independent, which is exactly why pattern-union
+inference (Sections 4-5) is needed.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Hashable, Iterator
+
+from repro.db.database import _compare
+from repro.query.ast import ConjunctiveQuery, Variable, is_variable
+from repro.query.classify import QueryAnalysis, UnsupportedQueryError, analyze
+
+
+def variable_domain(
+    variable: Variable, analysis: QueryAnalysis, db
+) -> list[Hashable]:
+    """The active domain of a groundable variable.
+
+    Intersects the distinct values of every o-relation column where the
+    variable occurs and filters by its comparison conditions.
+    """
+    domains: list[set[Hashable]] = []
+    atoms = list(analysis.global_atoms)
+    for variable_atoms in analysis.item_atoms.values():
+        atoms.extend(variable_atoms)
+    for atom in atoms:
+        relation = db.orelation(atom.relation)
+        for position, term in enumerate(atom.terms):
+            if term == variable:
+                domains.append(set(relation.active_domain(position)))
+    if not domains:
+        raise UnsupportedQueryError(
+            f"variable {variable!r} has no o-relation occurrence to ground over"
+        )
+    values = set.intersection(*domains)
+    for comparison in analysis.comparisons.get(variable, []):
+        values = {
+            v for v in values if _compare(v, comparison.op, comparison.value)
+        }
+    return sorted(values, key=repr)
+
+
+def decompose_query(
+    query: ConjunctiveQuery, db, analysis: QueryAnalysis | None = None
+) -> Iterator[tuple[dict[Variable, Hashable], ConjunctiveQuery]]:
+    """Algorithm 2: yield ``(assignment, instantiated itemwise query)`` pairs.
+
+    For itemwise queries yields the single pair ``({}, query)``.
+    """
+    if analysis is None:
+        analysis = analyze(query, db)
+    if not analysis.groundable:
+        yield {}, analysis.query
+        return
+    variables = sorted(analysis.groundable, key=lambda v: v.name)
+    domains = [variable_domain(v, analysis, db) for v in variables]
+    for combination in itertools.product(*domains):
+        assignment = dict(zip(variables, combination))
+        yield assignment, analysis.query.substitute(assignment)

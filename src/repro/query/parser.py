@@ -1,0 +1,180 @@
+"""A small text syntax for conjunctive queries.
+
+Grammar (whitespace-insensitive)::
+
+    query       :=  [ "Q()" "<-" ] atom ("," atom)*
+    atom        :=  p_atom | o_atom | comparison
+    p_atom      :=  NAME "(" terms ";" term ";" term ")"
+    o_atom      :=  NAME "(" terms ")"
+    comparison  :=  NAME OP literal          OP in  = != <= >= < >
+    terms       :=  term ("," term)*
+    term        :=  "_" | literal | NAME
+    literal     :=  'single-quoted string' | "double-quoted string" | number
+
+Conventions: quoted strings and numbers are constants; a bare ``NAME`` is a
+variable; ``_`` is the anonymous wildcard.  The running example Q2 of the
+paper reads::
+
+    Q() <- P(_, _; c1; c2), C(c1, 'D', _, _, e, _), C(c2, 'R', _, _, e, _)
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterator
+
+from repro.query.ast import (
+    Comparison,
+    ConjunctiveQuery,
+    Constant,
+    OAtom,
+    PAtom,
+    Term,
+    Variable,
+    WILDCARD,
+)
+
+
+class QuerySyntaxError(ValueError):
+    """Raised on malformed query text."""
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<head>Q\s*\(\s*\)\s*<-)
+  | (?P<string>'[^']*'|"[^"]*")
+  | (?P<number>-?\d+\.\d+|-?\d+)
+  | (?P<name>[A-Za-z][A-Za-z0-9_]*)
+  | (?P<wildcard>_)
+  | (?P<op><=|>=|!=|=|<|>)
+  | (?P<punct>[(),;])
+    """,
+    re.VERBOSE,
+)
+
+
+def _tokenize(text: str) -> Iterator[tuple[str, str]]:
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            raise QuerySyntaxError(
+                f"unexpected character {text[position]!r} at offset {position}"
+            )
+        position = match.end()
+        kind = match.lastgroup
+        if kind in ("ws", "head"):
+            continue
+        yield kind, match.group()
+    yield "eof", ""
+
+
+class _Parser:
+    def __init__(self, text: str):
+        self._tokens = list(_tokenize(text))
+        self._index = 0
+
+    def _peek(self) -> tuple[str, str]:
+        return self._tokens[self._index]
+
+    def _next(self) -> tuple[str, str]:
+        token = self._tokens[self._index]
+        self._index += 1
+        return token
+
+    def _expect(self, value: str) -> None:
+        kind, text = self._next()
+        if text != value:
+            raise QuerySyntaxError(f"expected {value!r}, found {text!r}")
+
+    def parse(self) -> ConjunctiveQuery:
+        p_atoms: list[PAtom] = []
+        o_atoms: list[OAtom] = []
+        comparisons: list[Comparison] = []
+        while True:
+            self._parse_conjunct(p_atoms, o_atoms, comparisons)
+            kind, text = self._peek()
+            if text == ",":
+                self._next()
+                continue
+            if kind == "eof":
+                break
+            raise QuerySyntaxError(f"expected ',' or end of query, found {text!r}")
+        return ConjunctiveQuery(tuple(p_atoms), tuple(o_atoms), tuple(comparisons))
+
+    def _parse_conjunct(self, p_atoms, o_atoms, comparisons) -> None:
+        kind, text = self._next()
+        if kind != "name":
+            raise QuerySyntaxError(f"expected atom or comparison, found {text!r}")
+        name = text
+        next_kind, next_text = self._peek()
+        if next_text == "(":
+            self._parse_atom(name, p_atoms, o_atoms)
+            return
+        if next_kind == "op":
+            _, op = self._next()
+            comparisons.append(Comparison(Variable(name), op, self._literal()))
+            return
+        raise QuerySyntaxError(
+            f"expected '(' or comparison operator after {name!r}, found {next_text!r}"
+        )
+
+    def _parse_atom(self, name: str, p_atoms, o_atoms) -> None:
+        self._expect("(")
+        groups: list[list[Term]] = [[]]
+        while True:
+            groups[-1].append(self._term())
+            kind, text = self._next()
+            if text == ",":
+                continue
+            if text == ";":
+                groups.append([])
+                continue
+            if text == ")":
+                break
+            raise QuerySyntaxError(f"expected ',', ';' or ')', found {text!r}")
+        if len(groups) == 1:
+            o_atoms.append(OAtom(name, tuple(groups[0])))
+            return
+        if len(groups) != 3 or len(groups[1]) != 1 or len(groups[2]) != 1:
+            raise QuerySyntaxError(
+                f"p-atom {name} must have the form {name}(session...; item; item)"
+            )
+        p_atoms.append(
+            PAtom(name, tuple(groups[0]), groups[1][0], groups[2][0])
+        )
+
+    def _term(self) -> Term:
+        kind, text = self._next()
+        if kind == "wildcard":
+            return WILDCARD
+        if kind == "string":
+            return Constant(text[1:-1])
+        if kind == "number":
+            return Constant(float(text) if "." in text else int(text))
+        if kind == "name":
+            return Variable(text)
+        raise QuerySyntaxError(f"expected a term, found {text!r}")
+
+    def _literal(self):
+        kind, text = self._next()
+        if kind == "string":
+            return text[1:-1]
+        if kind == "number":
+            return float(text) if "." in text else int(text)
+        raise QuerySyntaxError(
+            f"comparisons require a constant right-hand side, found {text!r}"
+        )
+
+
+def parse_query(text: str) -> ConjunctiveQuery:
+    """Parse query text into a :class:`ConjunctiveQuery`.
+
+    Examples
+    --------
+    >>> q = parse_query("P(_, '5/5'; c1; c2), C(c1, p, 'M'), C(c2, p, 'F')")
+    >>> len(q.p_atoms), len(q.o_atoms)
+    (1, 2)
+    """
+    return _Parser(text).parse()

@@ -1,0 +1,30 @@
+"""Ranking substrate: permutations, partial orders, sub-rankings, Kendall-tau.
+
+This subpackage implements the order-theoretic vocabulary of Section 2.1 of
+the paper: rankings (linear orders / permutations), partial orders and their
+linear extensions, sub-rankings, and the Kendall-tau distance used by the
+Mallows model.
+"""
+
+from repro.rankings.kendall import (
+    kendall_tau,
+    kendall_tau_naive,
+    discordant_pairs,
+    concordant_pairs,
+    subranking_distance,
+)
+from repro.rankings.partial_order import PartialOrder, CyclicOrderError
+from repro.rankings.permutation import Ranking
+from repro.rankings.subranking import SubRanking
+
+__all__ = [
+    "Ranking",
+    "SubRanking",
+    "PartialOrder",
+    "CyclicOrderError",
+    "kendall_tau",
+    "kendall_tau_naive",
+    "discordant_pairs",
+    "concordant_pairs",
+    "subranking_distance",
+]

@@ -1,0 +1,147 @@
+"""Kendall-tau distance between rankings, and between sub-rankings and rankings.
+
+The Kendall-tau distance ``dist(sigma, tau)`` is the number of item pairs on
+which the two orders disagree (Section 2.2 of the paper).  It is the distance
+that parameterizes the Mallows model: ``Pr(tau | sigma, phi) ~ phi^dist``.
+
+Two implementations are provided:
+
+* :func:`kendall_tau` — O(n log n) merge-sort inversion counting, used
+  everywhere in the library;
+* :func:`kendall_tau_naive` — O(n^2) pair enumeration, kept as an oracle for
+  the test suite.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Sequence
+
+Item = Hashable
+
+
+def _as_order(ranking) -> Sequence[Item]:
+    """Accept a Ranking, SubRanking, or plain sequence and return its items."""
+    items = getattr(ranking, "items", None)
+    if items is not None:
+        return items
+    return tuple(ranking)
+
+
+def _count_inversions(values: list[int]) -> int:
+    """Count inversions of an integer list via bottom-up merge sort."""
+    n = len(values)
+    if n < 2:
+        return 0
+    inversions = 0
+    width = 1
+    source = list(values)
+    buffer = [0] * n
+    while width < n:
+        for start in range(0, n, 2 * width):
+            mid = min(start + width, n)
+            end = min(start + 2 * width, n)
+            left, right = start, mid
+            out = start
+            while left < mid and right < end:
+                if source[left] <= source[right]:
+                    buffer[out] = source[left]
+                    left += 1
+                else:
+                    # source[right] jumps ahead of every remaining left item.
+                    inversions += mid - left
+                    buffer[out] = source[right]
+                    right += 1
+                out += 1
+            buffer[out:end] = source[left:mid] if left < mid else source[right:end]
+        source, buffer = buffer, source
+        width *= 2
+    return inversions
+
+
+def kendall_tau(sigma, tau) -> int:
+    """Kendall-tau distance between two rankings over the same item set.
+
+    Computed in O(n log n) by counting inversions of ``tau`` expressed in the
+    coordinate system of ``sigma``.
+    """
+    sigma_items = _as_order(sigma)
+    tau_items = _as_order(tau)
+    if len(sigma_items) != len(tau_items):
+        raise ValueError("rankings must be over the same item set")
+    rank_in_sigma = {item: i for i, item in enumerate(sigma_items)}
+    if set(rank_in_sigma) != set(tau_items):
+        raise ValueError("rankings must be over the same item set")
+    projected = [rank_in_sigma[item] for item in tau_items]
+    return _count_inversions(projected)
+
+
+def kendall_tau_naive(sigma, tau) -> int:
+    """O(n^2) Kendall-tau distance; test oracle for :func:`kendall_tau`."""
+    sigma_items = _as_order(sigma)
+    tau_items = _as_order(tau)
+    rank_in_tau = {item: i for i, item in enumerate(tau_items)}
+    distance = 0
+    n = len(sigma_items)
+    for i in range(n):
+        for j in range(i + 1, n):
+            if rank_in_tau[sigma_items[i]] > rank_in_tau[sigma_items[j]]:
+                distance += 1
+    return distance
+
+
+def discordant_pairs(sigma, tau) -> list[tuple[Item, Item]]:
+    """Pairs ``(a, b)`` with ``a`` above ``b`` in ``sigma`` but below in ``tau``.
+
+    Only pairs whose both endpoints occur in *both* orders are considered, so
+    the orders may be over different (overlapping) item sets; this is the
+    notion of disagreement used when comparing a sub-ranking with a full
+    reference ranking.
+    """
+    sigma_items = _as_order(sigma)
+    tau_items = _as_order(tau)
+    rank_in_tau = {item: i for i, item in enumerate(tau_items)}
+    shared = [item for item in sigma_items if item in rank_in_tau]
+    pairs = []
+    for i in range(len(shared)):
+        for j in range(i + 1, len(shared)):
+            if rank_in_tau[shared[i]] > rank_in_tau[shared[j]]:
+                pairs.append((shared[i], shared[j]))
+    return pairs
+
+
+def concordant_pairs(sigma, tau) -> list[tuple[Item, Item]]:
+    """Pairs ordered the same way by both orders (shared items only)."""
+    sigma_items = _as_order(sigma)
+    tau_items = _as_order(tau)
+    rank_in_tau = {item: i for i, item in enumerate(tau_items)}
+    shared = [item for item in sigma_items if item in rank_in_tau]
+    pairs = []
+    for i in range(len(shared)):
+        for j in range(i + 1, len(shared)):
+            if rank_in_tau[shared[i]] < rank_in_tau[shared[j]]:
+                pairs.append((shared[i], shared[j]))
+    return pairs
+
+
+def subranking_distance(psi, sigma) -> int:
+    """Number of pairs of ``psi``-items ordered differently by ``sigma``.
+
+    ``psi`` is a sub-ranking (an order over a subset of ``sigma``'s items).
+    This is the Kendall-tau distance restricted to the items present in
+    ``psi`` — the quantity minimized by the greedy modal search
+    (Algorithms 5 and 6 of the paper).
+
+    Computed in O(k log k) where ``k = len(psi)``.
+    """
+    psi_items = _as_order(psi)
+    sigma_rank = {item: i for i, item in enumerate(_as_order(sigma))}
+    missing = [item for item in psi_items if item not in sigma_rank]
+    if missing:
+        raise KeyError(f"sub-ranking items not in reference: {missing!r}")
+    projected = [sigma_rank[item] for item in psi_items]
+    return _count_inversions(projected)
+
+
+def max_kendall_tau(m: int) -> int:
+    """The maximum possible Kendall-tau distance over ``m`` items."""
+    return m * (m - 1) // 2

@@ -1,0 +1,253 @@
+"""Partial orders over items: transitive closure, linear extensions, merging.
+
+A partial order ``upsilon`` (Section 2.1 of the paper) is a DAG whose edge
+``(a, b)`` states that item ``a`` is preferred to item ``b``.  The paper uses
+partial orders in three roles:
+
+* the conditioning event of the AMP sampler (Section 2.2);
+* the item-level decomposition of label patterns (Section 5.2) — every
+  embedding of a pattern induces a partial order over items;
+* the intermediate step between patterns and sub-rankings
+  (``Omega(upsilon)`` = linear extensions, ``Delta(upsilon)`` = consistent
+  sub-rankings over the same items).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Iterator
+
+Item = Hashable
+
+
+class CyclicOrderError(ValueError):
+    """Raised when an operation requires acyclicity but the order has a cycle."""
+
+
+class PartialOrder:
+    """An immutable strict partial order over hashable items.
+
+    The order is stored as a set of directed edges ``(a, b)`` meaning
+    ``a > b`` ("a preferred to b").  Items with no edges may be included
+    explicitly via ``items`` so that ``A(upsilon)`` is well defined.
+
+    Construction does *not* require acyclicity — cycle detection is explicit
+    (:meth:`is_acyclic`) because merged orders (pattern conjunctions at the
+    item level) may legitimately be cyclic, meaning they are unsatisfiable.
+    """
+
+    __slots__ = ("_edges", "_items", "_successors", "_predecessors")
+
+    def __init__(
+        self,
+        edges: Iterable[tuple[Item, Item]] = (),
+        items: Iterable[Item] = (),
+    ):
+        edge_set = frozenset((a, b) for a, b in edges)
+        for a, b in edge_set:
+            if a == b:
+                raise ValueError(f"self-loop on item {a!r}: a strict order is irreflexive")
+        item_set = set(items)
+        successors: dict[Item, set[Item]] = {}
+        predecessors: dict[Item, set[Item]] = {}
+        for a, b in edge_set:
+            item_set.add(a)
+            item_set.add(b)
+            successors.setdefault(a, set()).add(b)
+            predecessors.setdefault(b, set()).add(a)
+        self._edges = edge_set
+        self._items = frozenset(item_set)
+        self._successors = {k: frozenset(v) for k, v in successors.items()}
+        self._predecessors = {k: frozenset(v) for k, v in predecessors.items()}
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def edges(self) -> frozenset[tuple[Item, Item]]:
+        return self._edges
+
+    @property
+    def items(self) -> frozenset[Item]:
+        """The item set ``A(upsilon)``."""
+        return self._items
+
+    def successors(self, item: Item) -> frozenset[Item]:
+        """Items directly less preferred than ``item``."""
+        return self._successors.get(item, frozenset())
+
+    def predecessors(self, item: Item) -> frozenset[Item]:
+        """Items directly more preferred than ``item``."""
+        return self._predecessors.get(item, frozenset())
+
+    def __len__(self) -> int:
+        return len(self._edges)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PartialOrder):
+            return NotImplemented
+        return self._edges == other._edges and self._items == other._items
+
+    def __hash__(self) -> int:
+        return hash((self._edges, self._items))
+
+    def __repr__(self) -> str:
+        edges = sorted(map(repr, self._edges))
+        return f"PartialOrder(edges={{{', '.join(edges)}}})"
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+
+    def is_acyclic(self) -> bool:
+        """True iff the preference digraph has no directed cycle."""
+        try:
+            self.topological_order()
+            return True
+        except CyclicOrderError:
+            return False
+
+    def topological_order(self) -> list[Item]:
+        """Return items in a topological order (most preferred first).
+
+        Raises :class:`CyclicOrderError` if the order has a cycle.  The order
+        is deterministic: ties are broken by the repr of the item, so tests
+        and benchmarks are reproducible.
+        """
+        indegree = {item: 0 for item in self._items}
+        for _, b in self._edges:
+            indegree[b] += 1
+        frontier = sorted(
+            (item for item, deg in indegree.items() if deg == 0), key=repr
+        )
+        order: list[Item] = []
+        while frontier:
+            item = frontier.pop(0)
+            order.append(item)
+            released = []
+            for succ in self._successors.get(item, ()):
+                indegree[succ] -= 1
+                if indegree[succ] == 0:
+                    released.append(succ)
+            if released:
+                frontier = sorted(frontier + released, key=repr)
+        if len(order) != len(self._items):
+            raise CyclicOrderError("partial order contains a cycle")
+        return order
+
+    def transitive_closure(self) -> "PartialOrder":
+        """Return ``tc(upsilon)``: all implied preference pairs as edges."""
+        order = self.topological_order()
+        # Reachability via reverse topological sweep: desc(v) = successors
+        # plus their descendants.
+        descendants: dict[Item, set[Item]] = {}
+        for item in reversed(order):
+            reach: set[Item] = set()
+            for succ in self._successors.get(item, ()):
+                reach.add(succ)
+                reach |= descendants[succ]
+            descendants[item] = reach
+        closure_edges = [
+            (a, b) for a, reach in descendants.items() for b in reach
+        ]
+        return PartialOrder(closure_edges, items=self._items)
+
+    def transitive_reduction(self) -> "PartialOrder":
+        """Return the minimal edge set with the same transitive closure."""
+        closure = self.transitive_closure()
+        reachable: dict[Item, frozenset[Item]] = {
+            item: closure.successors(item) for item in self._items
+        }
+        reduced = set()
+        for a, b in closure.edges:
+            # (a, b) is redundant iff some intermediate c has a > c > b.
+            if not any(b in reachable[c] for c in reachable[a] if c != b):
+                reduced.add((a, b))
+        return PartialOrder(reduced, items=self._items)
+
+    # ------------------------------------------------------------------
+    # Combination
+    # ------------------------------------------------------------------
+
+    def merge(self, other: "PartialOrder") -> "PartialOrder":
+        """Union of the two edge sets (the conjunction of the constraints).
+
+        The result may be cyclic, in which case it is unsatisfiable — callers
+        check :meth:`is_acyclic`.
+        """
+        return PartialOrder(
+            self._edges | other._edges, items=self._items | other._items
+        )
+
+    def with_edge(self, a: Item, b: Item) -> "PartialOrder":
+        """Return a new order with the additional constraint ``a > b``."""
+        return PartialOrder(self._edges | {(a, b)}, items=self._items)
+
+    # ------------------------------------------------------------------
+    # Semantics
+    # ------------------------------------------------------------------
+
+    def is_consistent(self, ranking) -> bool:
+        """True iff ``ranking`` is a linear extension of this order.
+
+        ``ranking`` must contain every item of the order; it may contain
+        extra items (the usual case: a full ranking versus a partial order
+        over a subset).
+        """
+        for a, b in self._edges:
+            if ranking.rank_of(a) > ranking.rank_of(b):
+                return False
+        return True
+
+    def linear_extensions(self) -> Iterator[tuple[Item, ...]]:
+        """Yield all linear extensions ``Omega(upsilon)`` over ``A(upsilon)``.
+
+        Each extension is yielded as a tuple of items, most preferred first.
+        Raises :class:`CyclicOrderError` if the order is cyclic.  The number
+        of extensions can be factorial in ``len(items)``; callers that only
+        need a bounded number should stop consuming the iterator early.
+        """
+        if not self.is_acyclic():
+            raise CyclicOrderError("cyclic order has no linear extensions")
+        items = sorted(self._items, key=repr)
+        indegree = {item: 0 for item in items}
+        for _, b in self._edges:
+            indegree[b] += 1
+
+        successors = self._successors
+        prefix: list[Item] = []
+
+        def extend() -> Iterator[tuple[Item, ...]]:
+            if len(prefix) == len(items):
+                yield tuple(prefix)
+                return
+            for item in items:
+                if indegree[item] == 0 and item not in used:
+                    used.add(item)
+                    prefix.append(item)
+                    for succ in successors.get(item, ()):
+                        indegree[succ] -= 1
+                    yield from extend()
+                    for succ in successors.get(item, ()):
+                        indegree[succ] += 1
+                    prefix.pop()
+                    used.discard(item)
+
+        used: set[Item] = set()
+        yield from extend()
+
+    def count_linear_extensions(self, limit: int | None = None) -> int:
+        """Count linear extensions, optionally stopping at ``limit``."""
+        count = 0
+        for _ in self.linear_extensions():
+            count += 1
+            if limit is not None and count >= limit:
+                return count
+        return count
+
+    @classmethod
+    def from_chain(cls, items: Iterable[Item]) -> "PartialOrder":
+        """Total order over ``items`` as a partial order (a chain)."""
+        chain = list(items)
+        edges = [(chain[i], chain[i + 1]) for i in range(len(chain) - 1)]
+        return cls(edges, items=chain)

@@ -1,0 +1,193 @@
+"""Rankings (linear orders / permutations) over a finite set of items.
+
+Terminology follows Section 2.1 of the paper: a ranking ``tau`` places the
+item ``tau(i)`` at rank ``i`` (rank 1 is the most preferred, i.e. the *top*).
+Ranks are 1-based throughout the public API, mirroring the paper's notation
+``tau(i)`` and ``tau^{-1}(item)``.
+
+Items may be any hashable values (ints, strings, tuples, ...).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Hashable, Iterable, Iterator, Sequence
+
+Item = Hashable
+
+
+class Ranking:
+    """An immutable linear order over a finite set of distinct items.
+
+    ``Ranking`` is the concrete representation of the paper's
+    ``tau = <tau_1, ..., tau_m>``.  It supports rank lookups in O(1),
+    immutable insertion (the elementary step of the Repeated Insertion
+    Model), truncation ``tau^k``, and restriction to a subset of items.
+
+    Examples
+    --------
+    >>> tau = Ranking(["a", "b", "c"])
+    >>> tau.item_at(1)
+    'a'
+    >>> tau.rank_of("c")
+    3
+    >>> tau.insert("d", 2)
+    Ranking(['a', 'd', 'b', 'c'])
+    """
+
+    __slots__ = ("_items", "_rank")
+
+    def __init__(self, items: Iterable[Item]):
+        self._items: tuple[Item, ...] = tuple(items)
+        self._rank: dict[Item, int] = {
+            item: position + 1 for position, item in enumerate(self._items)
+        }
+        if len(self._rank) != len(self._items):
+            raise ValueError("ranking contains duplicate items")
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def items(self) -> tuple[Item, ...]:
+        """The items in rank order (rank 1 first)."""
+        return self._items
+
+    def item_at(self, rank: int) -> Item:
+        """Return the item at 1-based ``rank`` (the paper's ``tau(i)``)."""
+        if not 1 <= rank <= len(self._items):
+            raise IndexError(f"rank {rank} out of range 1..{len(self._items)}")
+        return self._items[rank - 1]
+
+    def rank_of(self, item: Item) -> int:
+        """Return the 1-based rank of ``item`` (the paper's ``tau^{-1}``)."""
+        try:
+            return self._rank[item]
+        except KeyError:
+            raise KeyError(f"item {item!r} not in ranking") from None
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self) -> Iterator[Item]:
+        return iter(self._items)
+
+    def __contains__(self, item: Item) -> bool:
+        return item in self._rank
+
+    def __getitem__(self, index: int) -> Item:
+        """0-based positional access (for Pythonic iteration helpers)."""
+        return self._items[index]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Ranking):
+            return NotImplemented
+        return self._items == other._items
+
+    def __hash__(self) -> int:
+        return hash(self._items)
+
+    def __repr__(self) -> str:
+        return f"Ranking({list(self._items)!r})"
+
+    # ------------------------------------------------------------------
+    # Preference tests
+    # ------------------------------------------------------------------
+
+    def prefers(self, a: Item, b: Item) -> bool:
+        """Return True iff ``a`` is ranked above ``b`` (``a >_tau b``)."""
+        return self.rank_of(a) < self.rank_of(b)
+
+    def preference_pairs(self) -> Iterator[tuple[Item, Item]]:
+        """Yield all ordered pairs ``(a, b)`` with ``a`` preferred to ``b``.
+
+        This is the transitive closure of the linear order: m*(m-1)/2 pairs.
+        """
+        for i, a in enumerate(self._items):
+            for b in self._items[i + 1 :]:
+                yield (a, b)
+
+    # ------------------------------------------------------------------
+    # Constructors / transformations
+    # ------------------------------------------------------------------
+
+    def insert(self, item: Item, position: int) -> "Ranking":
+        """Return a new ranking with ``item`` inserted at 1-based ``position``.
+
+        This is the elementary step of the Repeated Insertion Model
+        (Algorithm 1 of the paper): inserting at position ``j`` pushes the
+        items previously at positions ``j, j+1, ...`` down by one.
+        """
+        if item in self._rank:
+            raise ValueError(f"item {item!r} already present")
+        if not 1 <= position <= len(self._items) + 1:
+            raise IndexError(
+                f"position {position} out of range 1..{len(self._items) + 1}"
+            )
+        head = self._items[: position - 1]
+        tail = self._items[position - 1 :]
+        return Ranking(head + (item,) + tail)
+
+    def remove(self, item: Item) -> "Ranking":
+        """Return a new ranking with ``item`` removed (the paper's tau_{-x})."""
+        rank = self.rank_of(item)
+        return Ranking(self._items[: rank - 1] + self._items[rank:])
+
+    def prefix(self, k: int) -> "Ranking":
+        """Return the truncated ranking ``tau^k`` keeping the top-k items."""
+        if not 0 <= k <= len(self._items):
+            raise IndexError(f"k {k} out of range 0..{len(self._items)}")
+        return Ranking(self._items[:k])
+
+    def restrict(self, subset: Iterable[Item]) -> tuple[Item, ...]:
+        """Return the items of ``subset`` in the relative order of this ranking.
+
+        The result is the projection of ``tau`` onto ``subset`` — the induced
+        sub-ranking, returned as a plain tuple (see
+        :class:`repro.rankings.subranking.SubRanking` for the rich wrapper).
+        """
+        member = set(subset)
+        unknown = member - set(self._rank)
+        if unknown:
+            raise KeyError(f"items not in ranking: {sorted(map(repr, unknown))}")
+        return tuple(item for item in self._items if item in member)
+
+    def reversed(self) -> "Ranking":
+        """Return the reverse ranking (maximum Kendall-tau distance)."""
+        return Ranking(reversed(self._items))
+
+    def swap(self, a: Item, b: Item) -> "Ranking":
+        """Return a new ranking with the positions of ``a`` and ``b`` swapped."""
+        ra, rb = self.rank_of(a), self.rank_of(b)
+        items = list(self._items)
+        items[ra - 1], items[rb - 1] = items[rb - 1], items[ra - 1]
+        return Ranking(items)
+
+    # ------------------------------------------------------------------
+    # Enumeration / sampling helpers
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def identity(cls, m: int) -> "Ranking":
+        """Return the canonical ranking ``<0, 1, ..., m-1>`` over int items."""
+        return cls(range(m))
+
+    @classmethod
+    def random(cls, items: Sequence[Item], rng) -> "Ranking":
+        """Return a uniformly random ranking of ``items``.
+
+        ``rng`` is a :class:`numpy.random.Generator`.
+        """
+        order = list(items)
+        rng.shuffle(order)
+        return cls(order)
+
+    @classmethod
+    def all_rankings(cls, items: Sequence[Item]) -> Iterator["Ranking"]:
+        """Yield all ``m!`` rankings of ``items`` (the paper's rnk(A)).
+
+        Intended for brute-force validation; callers should guard ``m``.
+        """
+        for perm in itertools.permutations(items):
+            yield cls(perm)

@@ -1,0 +1,131 @@
+"""Sub-rankings: total orders over a subset of the item universe.
+
+A sub-ranking ``psi`` (Section 2.1 of the paper) is a ranking over a subset
+``A(psi)`` of the items.  Sub-rankings are the unit of work of the
+approximate solvers: a pattern union decomposes into a union of sub-rankings
+(Section 5.2), each of which conditions an AMP proposal distribution, and the
+greedy modal search (Algorithm 5) repeatedly *inserts* missing items into a
+sub-ranking — the ``psi_{i->j}`` operation implemented here.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Iterator
+
+from repro.rankings.kendall import subranking_distance
+from repro.rankings.partial_order import PartialOrder
+
+Item = Hashable
+
+
+class SubRanking:
+    """An immutable total order over a subset of items.
+
+    Unlike :class:`~repro.rankings.permutation.Ranking`, a sub-ranking is
+    interpreted relative to a larger universe: a full ranking ``tau``
+    *is consistent with* ``psi`` when the items of ``psi`` appear in ``tau``
+    in the same relative order (``tau |= psi``).
+    """
+
+    __slots__ = ("_items", "_rank")
+
+    def __init__(self, items: Iterable[Item]):
+        self._items: tuple[Item, ...] = tuple(items)
+        self._rank: dict[Item, int] = {
+            item: position + 1 for position, item in enumerate(self._items)
+        }
+        if len(self._rank) != len(self._items):
+            raise ValueError("sub-ranking contains duplicate items")
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def items(self) -> tuple[Item, ...]:
+        """The items in rank order (most preferred first); ``A(psi)`` ordered."""
+        return self._items
+
+    @property
+    def item_set(self) -> frozenset[Item]:
+        """``A(psi)`` as a set."""
+        return frozenset(self._rank)
+
+    def rank_of(self, item: Item) -> int:
+        """The 1-based rank of ``item`` within the sub-ranking."""
+        try:
+            return self._rank[item]
+        except KeyError:
+            raise KeyError(f"item {item!r} not in sub-ranking") from None
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self) -> Iterator[Item]:
+        return iter(self._items)
+
+    def __contains__(self, item: Item) -> bool:
+        return item in self._rank
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SubRanking):
+            return NotImplemented
+        return self._items == other._items
+
+    def __hash__(self) -> int:
+        return hash(self._items)
+
+    def __repr__(self) -> str:
+        return f"SubRanking({list(self._items)!r})"
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+
+    def insert(self, item: Item, position: int) -> "SubRanking":
+        """Return ``psi_{i->j}``: a new sub-ranking with ``item`` at ``position``.
+
+        ``position`` is 1-based and may range over ``1..len(psi)+1``.
+        """
+        if item in self._rank:
+            raise ValueError(f"item {item!r} already present")
+        if not 1 <= position <= len(self._items) + 1:
+            raise IndexError(
+                f"position {position} out of range 1..{len(self._items) + 1}"
+            )
+        head = self._items[: position - 1]
+        tail = self._items[position - 1 :]
+        return SubRanking(head + (item,) + tail)
+
+    def is_consistent_with(self, ranking) -> bool:
+        """True iff the full ``ranking`` extends this sub-ranking (``tau |= psi``)."""
+        previous = -1
+        for item in self._items:
+            rank = ranking.rank_of(item)
+            if rank < previous:
+                return False
+            previous = rank
+        return True
+
+    def distance_to(self, sigma) -> int:
+        """Kendall-tau disagreement with ``sigma`` restricted to ``A(psi)``."""
+        return subranking_distance(self, sigma)
+
+    def as_partial_order(self) -> PartialOrder:
+        """The chain partial order equivalent to this sub-ranking."""
+        return PartialOrder.from_chain(self._items)
+
+    @classmethod
+    def from_ranking(cls, ranking, subset: Iterable[Item]) -> "SubRanking":
+        """Project ``ranking`` onto ``subset`` preserving relative order."""
+        return cls(ranking.restrict(subset))
+
+
+def consistent_subrankings(order: PartialOrder) -> Iterator[SubRanking]:
+    """Yield ``Delta(upsilon)``: sub-rankings over ``A(upsilon)`` consistent with it.
+
+    These are exactly the linear extensions of the partial order, wrapped as
+    sub-rankings (Section 5.2 of the paper, Figure 3 middle-to-right step).
+    """
+    for extension in order.linear_extensions():
+        yield SubRanking(extension)

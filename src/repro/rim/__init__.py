@@ -1,0 +1,36 @@
+"""RIM substrate: the Repeated Insertion Model, Mallows, AMP, and mixtures.
+
+Implements Section 2.2 of the paper: the RIM generative model
+(Algorithm 1), the Mallows model as the special case
+``Pi(i, j) = phi^{i-j} / (1 + phi + ... + phi^{i-1})``, the AMP sampler from
+the Mallows posterior conditioned on a partial order, rejection sampling,
+and mixtures of Mallows models (used by the MovieLens and CrowdRank
+experiments).
+"""
+
+from repro.rim.amp import AMPSampler
+from repro.rim.mallows import Mallows
+from repro.rim.marginals import (
+    expected_rank,
+    pairwise_marginal,
+    pairwise_marginal_matrix,
+    rank_distribution,
+)
+from repro.rim.mixture import MallowsMixture
+from repro.rim.model import RIM
+from repro.rim.plackett_luce import PlackettLuce
+from repro.rim.sampling import empirical_probability, rejection_estimate
+
+__all__ = [
+    "RIM",
+    "Mallows",
+    "MallowsMixture",
+    "PlackettLuce",
+    "AMPSampler",
+    "empirical_probability",
+    "rejection_estimate",
+    "pairwise_marginal",
+    "pairwise_marginal_matrix",
+    "rank_distribution",
+    "expected_rank",
+]

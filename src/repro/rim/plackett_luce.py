@@ -1,0 +1,124 @@
+"""Plackett-Luce: a ranking model beyond RIM (the paper's future work).
+
+The paper's conclusion names "incorporating probabilistic preference
+models beyond RIM" as future work.  Plackett-Luce (PL) is the canonical
+such model: each item has a positive skill ``w``, and a ranking is built
+top-down by repeatedly choosing the next item with probability
+proportional to its skill among the remaining items:
+
+    Pr(tau | w) = prod_{i=1..m} w(tau_i) / sum_{j >= i} w(tau_j)
+
+PL is *not* a RIM — its insertion probabilities are position- and
+history-dependent — so the exact pattern-union solvers do not apply.  It
+plugs into the Monte-Carlo layer instead: it offers ``sample`` and
+``probability``, which is all rejection sampling and possible-world
+evaluation need.  A PL session in a p-relation is therefore evaluated with
+``method="rejection"``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Hashable, Iterator, Mapping, Sequence
+
+import numpy as np
+
+from repro.rankings.permutation import Ranking
+
+Item = Hashable
+
+
+class PlackettLuce:
+    """A Plackett-Luce ranking distribution over a finite item set."""
+
+    def __init__(self, skills: Mapping[Item, float]):
+        if not skills:
+            raise ValueError("Plackett-Luce needs at least one item")
+        for item, skill in skills.items():
+            if not skill > 0:
+                raise ValueError(
+                    f"skill of {item!r} must be positive, got {skill}"
+                )
+        self._items = tuple(sorted(skills, key=repr))
+        self._skills = {item: float(skills[item]) for item in self._items}
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def items(self) -> tuple[Item, ...]:
+        return self._items
+
+    @property
+    def m(self) -> int:
+        return len(self._items)
+
+    def skill(self, item: Item) -> float:
+        try:
+            return self._skills[item]
+        except KeyError:
+            raise KeyError(f"item {item!r} not in the model") from None
+
+    def __repr__(self) -> str:
+        return f"PlackettLuce(m={self.m})"
+
+    # ------------------------------------------------------------------
+    # Distribution
+    # ------------------------------------------------------------------
+
+    def sample(self, rng: np.random.Generator) -> Ranking:
+        """Draw a ranking by sequential skill-proportional choice."""
+        remaining = list(self._items)
+        weights = np.array([self._skills[item] for item in remaining])
+        order: list[Item] = []
+        while remaining:
+            probabilities = weights / weights.sum()
+            index = int(rng.choice(len(remaining), p=probabilities))
+            order.append(remaining.pop(index))
+            weights = np.delete(weights, index)
+        return Ranking(order)
+
+    def log_probability(self, tau: Ranking) -> float:
+        if set(tau.items) != set(self._items):
+            raise ValueError("ranking is over a different item set")
+        log_p = 0.0
+        remaining_mass = sum(self._skills.values())
+        for item in tau:
+            skill = self._skills[item]
+            log_p += math.log(skill) - math.log(remaining_mass)
+            remaining_mass -= skill
+        return log_p
+
+    def probability(self, tau: Ranking) -> float:
+        return math.exp(self.log_probability(tau))
+
+    def enumerate_support(
+        self, max_items: int = 9
+    ) -> Iterator[tuple[Ranking, float]]:
+        """All rankings with probabilities (for brute-force validation)."""
+        if self.m > max_items:
+            raise ValueError(
+                f"refusing to enumerate {self.m}! rankings; "
+                f"raise max_items explicitly if intended"
+            )
+        for tau in Ranking.all_rankings(self._items):
+            yield tau, self.probability(tau)
+
+    def pairwise_marginal(self, a: Item, b: Item) -> float:
+        """Exact ``Pr(a > b)``: the classic Luce choice ratio.
+
+        Under Plackett-Luce the pairwise marginal has the closed form
+        ``w_a / (w_a + w_b)`` (independence of irrelevant alternatives).
+        """
+        wa, wb = self.skill(a), self.skill(b)
+        return wa / (wa + wb)
+
+    @classmethod
+    def from_scores(
+        cls, items: Sequence[Item], scores: Sequence[float]
+    ) -> "PlackettLuce":
+        """Build from parallel item/score sequences."""
+        if len(items) != len(scores):
+            raise ValueError("items and scores must have equal length")
+        return cls(dict(zip(items, scores)))

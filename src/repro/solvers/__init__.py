@@ -1,0 +1,46 @@
+"""Exact solvers for pattern-union inference over labeled RIM (Section 4).
+
+Given a labeled RIM ``RIM_L(sigma, Pi, lambda)`` and a pattern union
+``G = g_1 ∪ ... ∪ g_z``, compute the marginal probability that a random
+ranking satisfies at least one pattern (Equation 2 of the paper).
+
+Solvers, from most general to most specialized:
+
+* :mod:`repro.solvers.brute` — exhaustive enumeration over all ``m!``
+  rankings; ground truth for the test suite.
+* :mod:`repro.solvers.lifted` — exact DP over RIM insertions tracking the
+  positions of pattern-relevant items; handles any pattern or union (the
+  library's stand-in for the LTM subroutine of Cohen et al.).
+* :mod:`repro.solvers.general` — inclusion–exclusion over pattern
+  conjunctions (Section 4.1); the paper's baseline.
+* :mod:`repro.solvers.two_label` — Algorithm 3, for unions of two-label
+  patterns.
+* :mod:`repro.solvers.bipartite` — Algorithm 4, for unions of bipartite
+  patterns.
+* :mod:`repro.solvers.upper_bound` — the ease-heuristic upper bounds of
+  Sections 3.2 / 4.3.2 that drive the top-k optimization.
+* :mod:`repro.solvers.dispatch` — picks the best applicable solver.
+"""
+
+from repro.solvers.base import SolverResult, UnsupportedPatternError
+from repro.solvers.bipartite import bipartite_probability
+from repro.solvers.brute import brute_force_probability
+from repro.solvers.dispatch import exact_probability, solve
+from repro.solvers.general import general_probability
+from repro.solvers.lifted import lifted_probability
+from repro.solvers.two_label import two_label_probability
+from repro.solvers.upper_bound import upper_bound_probability, upper_bound_union
+
+__all__ = [
+    "SolverResult",
+    "UnsupportedPatternError",
+    "solve",
+    "exact_probability",
+    "brute_force_probability",
+    "lifted_probability",
+    "general_probability",
+    "two_label_probability",
+    "bipartite_probability",
+    "upper_bound_union",
+    "upper_bound_probability",
+]

@@ -1,0 +1,78 @@
+"""Shared solver types: results, errors, normalization helpers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.patterns.pattern import LabelPattern
+from repro.patterns.union import PatternUnion
+
+
+class UnsupportedPatternError(ValueError):
+    """Raised when a specialized solver is handed a union outside its class."""
+
+
+class SolverTimeout(RuntimeError):
+    """Raised when a solver exceeds its time budget.
+
+    The scalability experiments (e.g. the Figure 6 two-label heatmap) measure
+    the *proportion of instances finishing within a budget*, so solvers
+    accept an optional ``time_budget`` and abort cleanly when it is spent.
+    """
+
+    def __init__(self, solver: str, budget_seconds: float):
+        super().__init__(
+            f"{solver} exceeded its time budget of {budget_seconds:.3f}s"
+        )
+        self.solver = solver
+        self.budget_seconds = budget_seconds
+
+
+@dataclass(frozen=True)
+class SolverResult:
+    """The outcome of one inference call.
+
+    Attributes
+    ----------
+    probability:
+        The (estimated or exact) marginal probability ``Pr(G | sigma, Pi, lambda)``.
+    solver:
+        Name of the solver that produced it.
+    exact:
+        True for exact solvers, False for Monte-Carlo estimates.
+    stats:
+        Solver-specific diagnostics (peak state counts, sample counts,
+        timing splits, compensation factors, ...).
+    """
+
+    probability: float
+    solver: str
+    exact: bool = True
+    stats: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self):
+        # Exact solvers may produce tiny negative values (inclusion–exclusion
+        # cancellation) or values epsilon above 1; clamp but keep the raw
+        # number available in stats for diagnosis.
+        if not -1e-6 <= self.probability <= 1.0 + 1e-6:
+            raise ValueError(
+                f"probability {self.probability} outside [0, 1] "
+                f"(solver={self.solver})"
+            )
+
+    @property
+    def clamped(self) -> float:
+        """The probability clamped to [0, 1]."""
+        return min(1.0, max(0.0, self.probability))
+
+
+def as_union(union_or_pattern) -> PatternUnion:
+    """Accept a single pattern or a union; always return a union."""
+    if isinstance(union_or_pattern, PatternUnion):
+        return union_or_pattern
+    if isinstance(union_or_pattern, LabelPattern):
+        return PatternUnion([union_or_pattern])
+    raise TypeError(
+        f"expected LabelPattern or PatternUnion, got {type(union_or_pattern).__name__}"
+    )

@@ -1,0 +1,48 @@
+"""Brute-force solver: Equation (2) evaluated by exhaustive enumeration.
+
+Sums the model probability of every ranking satisfying the union.  Cost is
+O(m! * matching); usable for ``m <= 9`` and intended as the ground truth
+against which every other solver is validated.
+"""
+
+from __future__ import annotations
+
+from repro.patterns.labels import Labeling
+from repro.patterns.matching import match_served_sequence, served_sequence
+from repro.solvers.base import SolverResult, as_union
+
+
+def brute_force_probability(
+    model, labeling: Labeling, union_or_pattern, max_items: int = 9
+) -> SolverResult:
+    """Exact ``Pr(G | sigma, Pi, lambda)`` by enumerating all rankings.
+
+    Parameters
+    ----------
+    model:
+        A RIM (or Mallows) model.
+    labeling:
+        The labeling function ``lambda``.
+    union_or_pattern:
+        A :class:`LabelPattern` or :class:`PatternUnion`.
+    max_items:
+        Safety bound on ``m``; enumeration is factorial.
+    """
+    union = as_union(union_or_pattern)
+    total = 0.0
+    n_matched = 0
+    n_rankings = 0
+    for ranking, probability in model.enumerate_support(max_items=max_items):
+        n_rankings += 1
+        sequence = served_sequence(ranking, union, labeling)
+        if any(
+            match_served_sequence(sequence, pattern) is not None
+            for pattern in union
+        ):
+            total += probability
+            n_matched += 1
+    return SolverResult(
+        probability=total,
+        solver="brute",
+        stats={"n_rankings": n_rankings, "n_matched": n_matched},
+    )

@@ -1,0 +1,107 @@
+"""Tests for the pattern → partial orders → sub-rankings decomposition."""
+
+import pytest
+
+from repro.approx.decompose import (
+    DecompositionLimitError,
+    embedding_partial_order,
+    pattern_embeddings,
+    pattern_partial_orders,
+    union_partial_orders,
+    union_subrankings,
+)
+from repro.patterns.labels import Labeling
+from repro.patterns.matching import matches_union
+from repro.patterns.pattern import LabelPattern, node
+from repro.patterns.union import PatternUnion
+from repro.rankings.permutation import Ranking
+from tests.conftest import random_instance
+
+
+class TestEmbeddings:
+    def test_simple_count(self):
+        labeling = Labeling({1: {"A"}, 2: {"A"}, 3: {"B"}})
+        pattern = LabelPattern([(node("a", "A"), node("b", "B"))])
+        embeddings = list(pattern_embeddings(pattern, labeling))
+        assert len(embeddings) == 2  # two A-candidates x one B-candidate
+
+    def test_comparable_nodes_cannot_share_item(self):
+        labeling = Labeling({1: {"A", "B"}})
+        pattern = LabelPattern([(node("a", "A"), node("b", "B"))])
+        assert list(pattern_embeddings(pattern, labeling)) == []
+
+    def test_incomparable_nodes_can_share_item(self):
+        labeling = Labeling({1: {"A", "B"}, 2: {"C"}})
+        pattern = LabelPattern(
+            [(node("a", "A"), node("c", "C")), (node("b", "B"), node("c", "C"))]
+        )
+        embeddings = list(pattern_embeddings(pattern, labeling))
+        assert any(
+            assignment[node("a", "A")] == assignment[node("b", "B")] == 1
+            for assignment in embeddings
+        )
+
+    def test_no_candidates_no_embeddings(self):
+        labeling = Labeling({1: {"A"}})
+        pattern = LabelPattern([(node("a", "A"), node("b", "B"))])
+        assert list(pattern_embeddings(pattern, labeling)) == []
+
+    def test_limit_enforced(self):
+        labeling = Labeling({i: {"A", "B"} for i in range(10)})
+        pattern = LabelPattern([(node("a", "A"), node("b", "B"))])
+        with pytest.raises(DecompositionLimitError):
+            list(pattern_embeddings(pattern, labeling, max_embeddings=5))
+
+
+class TestPartialOrders:
+    def test_cyclic_assignment_skipped(self):
+        # Nodes a > b and b > a... within one pattern is impossible (DAG),
+        # but a diamond with shared items can induce a cycle at item level.
+        labeling = Labeling({1: {"A", "C"}, 2: {"B"}})
+        pattern = LabelPattern(
+            [
+                (node("a", "A"), node("b", "B")),
+                (node("b2", "B"), node("c", "C")),
+            ]
+        )
+        # assignment a->1, b->2, b2->2, c->1 gives 1>2 and 2>1: cyclic.
+        orders = pattern_partial_orders(pattern, labeling)
+        for order in orders:
+            assert order.is_acyclic()
+
+    def test_figure_3_shape(self):
+        # Figure 3 of the paper: two patterns decompose into three partial
+        # orders and six sub-rankings.  Reconstruction: items 1..4;
+        # g1 has embeddings inducing upsilon1 = {1>2, 1>3, 2>4, 3>4}-like
+        # shapes.  We verify the pipeline's counts on an analogous setup.
+        labeling = Labeling({1: {"X"}, 2: {"Y"}, 3: {"Y"}, 4: {"Z"}})
+        g1 = LabelPattern(
+            [(node("x", "X"), node("y", "Y")), (node("y", "Y"), node("z", "Z"))]
+        )
+        union = PatternUnion([g1])
+        orders = union_partial_orders(union, labeling)
+        assert len(orders) == 2  # chains 1>2>4 and 1>3>4
+        subs = union_subrankings(union, labeling)
+        assert {s.items for s in subs} == {(1, 2, 4), (1, 3, 4)}
+
+
+class TestSubrankingEquivalence:
+    def test_union_equivalence_on_random_instances(self, pyrng):
+        # tau |= G  iff  tau is consistent with some sub-ranking: the
+        # foundation of the approximate solvers (Section 5.2).
+        for _ in range(40):
+            model, labeling, union = random_instance(
+                pyrng, m_choices=(4, 5), max_patterns=2, max_nodes=3
+            )
+            subs = union_subrankings(union, labeling)
+            for tau in Ranking.all_rankings(model.items):
+                lhs = matches_union(tau, union, labeling)
+                rhs = any(psi.is_consistent_with(tau) for psi in subs)
+                assert lhs == rhs
+
+    def test_subrankings_deduplicated(self):
+        labeling = Labeling({1: {"A"}, 2: {"B"}})
+        g = LabelPattern([(node("a", "A"), node("b", "B"))])
+        union = PatternUnion([g, LabelPattern([(node("a2", "A"), node("b2", "B"))])])
+        subs = union_subrankings(union, labeling)
+        assert len(subs) == len({s.items for s in subs})

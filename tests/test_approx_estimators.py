@@ -1,0 +1,184 @@
+"""Statistical tests for IS-AMP, MIS-AMP, MIS-AMP-lite, MIS-AMP-adaptive.
+
+Monte-Carlo estimators are validated against exact brute-force values on
+small instances with fixed seeds and tolerances wide enough to be stable.
+"""
+
+import numpy as np
+import pytest
+
+from repro.approx.adaptive import mis_amp_adaptive
+from repro.approx.is_amp import is_amp_estimate
+from repro.approx.lite import LiteWorkspace, mis_amp_lite
+from repro.approx.mis import mis_amp_estimate
+from repro.patterns.labels import Labeling
+from repro.patterns.pattern import LabelPattern, node
+from repro.patterns.union import PatternUnion
+from repro.rankings.subranking import SubRanking
+from repro.rim.mallows import Mallows
+from repro.rim.sampling import rejection_until_within
+from repro.solvers.brute import brute_force_probability
+
+
+def exact_subranking_probability(model: Mallows, psi: SubRanking) -> float:
+    return sum(
+        p
+        for tau, p in model.enumerate_support()
+        if psi.is_consistent_with(tau)
+    )
+
+
+class TestISAMP:
+    def test_unbiased_on_easy_instance(self, rng):
+        model = Mallows(list(range(5)), 0.6)
+        psi = SubRanking([2, 0])
+        exact = exact_subranking_probability(model, psi)
+        estimate = is_amp_estimate(model, psi, 4000, rng).estimate
+        assert estimate == pytest.approx(exact, rel=0.1)
+
+    def test_rare_event(self, rng):
+        model = Mallows(list(range(6)), 0.3)
+        psi = SubRanking([5, 0])
+        exact = exact_subranking_probability(model, psi)
+        estimate = is_amp_estimate(model, psi, 6000, rng).estimate
+        assert exact < 0.01  # genuinely rare
+        assert estimate == pytest.approx(exact, rel=0.25)
+
+    def test_underestimates_multimodal_posterior(self, rng):
+        # Paper Example 5.1: with phi = 0.01 and psi0 = <s3, s1>, IS-AMP
+        # concentrates on one mode and substantially misestimates.
+        model = Mallows(["s1", "s2", "s3"], 0.01)
+        psi = SubRanking(["s3", "s1"])
+        exact = exact_subranking_probability(model, psi)
+        mis = mis_amp_estimate(model, psi, 1500, rng).estimate
+        # MIS-AMP corrects the multi-modal failure: tight agreement.
+        assert mis == pytest.approx(exact, rel=0.05)
+
+
+class TestMISAMP:
+    def test_matches_exact_across_phis(self, rng):
+        for phi in (0.1, 0.5, 0.9):
+            model = Mallows(list(range(5)), phi)
+            psi = SubRanking([4, 1])
+            exact = exact_subranking_probability(model, psi)
+            result = mis_amp_estimate(model, psi, 1200, rng)
+            assert result.estimate == pytest.approx(exact, rel=0.15)
+
+    def test_modal_centers_reported(self, rng):
+        model = Mallows(["s1", "s2", "s3"], 0.01)
+        result = mis_amp_estimate(model, SubRanking(["s3", "s1"]), 100, rng)
+        assert result.n_proposals == 2
+
+
+class TestLite:
+    @pytest.fixture
+    def instance(self):
+        model = Mallows(list(range(6)), 0.3)
+        labeling = Labeling(
+            {0: {"A"}, 1: {"B"}, 2: {"A"}, 3: {"C"}, 4: {"B"}, 5: {"C"}}
+        )
+        g1 = LabelPattern([(node("c", "C"), node("a", "A"))])
+        g2 = LabelPattern(
+            [(node("c2", "C"), node("b", "B")), (node("b", "B"), node("a2", "A"))]
+        )
+        return model, labeling, PatternUnion([g1, g2])
+
+    def test_converges_to_exact_with_many_proposals(self, instance, rng):
+        model, labeling, union = instance
+        exact = brute_force_probability(model, labeling, union).probability
+        result = mis_amp_lite(
+            model, labeling, union,
+            n_proposals=40, n_per_proposal=500, rng=rng,
+        )
+        assert result.probability == pytest.approx(exact, rel=0.15)
+
+    def test_compensation_factors_at_least_one(self, instance, rng):
+        model, labeling, union = instance
+        for d in (1, 3, 10):
+            result = mis_amp_lite(
+                model, labeling, union,
+                n_proposals=d, n_per_proposal=50, rng=rng,
+            )
+            assert result.stats["c_psi"] >= 1.0
+            assert result.stats["c_r"] >= 1.0
+
+    def test_compensation_is_identity_when_nothing_pruned(self, instance, rng):
+        model, labeling, union = instance
+        workspace = LiteWorkspace(model, labeling, union)
+        result = mis_amp_lite(
+            model, labeling, union,
+            n_proposals=10_000, n_per_proposal=20, rng=rng,
+            workspace=workspace,
+        )
+        assert result.stats["c_psi"] == pytest.approx(1.0)
+        assert result.stats["c_r"] == pytest.approx(1.0)
+
+    def test_unsatisfiable_union(self, rng):
+        model = Mallows(list(range(3)), 0.5)
+        labeling = Labeling({0: set(), 1: set(), 2: set()})
+        pattern = LabelPattern([(node("a", "A"), node("b", "B"))])
+        result = mis_amp_lite(
+            model, labeling, pattern, n_proposals=3, rng=rng
+        )
+        assert result.probability == 0.0
+        assert result.stats["unsatisfiable"]
+
+    def test_workspace_reuse_is_consistent(self, instance, rng):
+        model, labeling, union = instance
+        workspace = LiteWorkspace(model, labeling, union)
+        fresh = mis_amp_lite(
+            model, labeling, union,
+            n_proposals=5, n_per_proposal=300,
+            rng=np.random.default_rng(1),
+        )
+        reused = mis_amp_lite(
+            model, labeling, union,
+            n_proposals=5, n_per_proposal=300,
+            rng=np.random.default_rng(1), workspace=workspace,
+        )
+        assert reused.probability == pytest.approx(fresh.probability)
+
+    def test_overhead_and_sampling_times_reported(self, instance, rng):
+        model, labeling, union = instance
+        result = mis_amp_lite(
+            model, labeling, union, n_proposals=3, n_per_proposal=50, rng=rng
+        )
+        assert result.stats["overhead_seconds"] >= 0.0
+        assert result.stats["sampling_seconds"] > 0.0
+
+
+class TestAdaptive:
+    def test_converges_and_reports_iterations(self, rng):
+        model = Mallows(list(range(6)), 0.3)
+        labeling = Labeling(
+            {0: {"A"}, 1: {"B"}, 2: {"A"}, 3: {"C"}, 4: {"B"}, 5: {"C"}}
+        )
+        union = PatternUnion(
+            [LabelPattern([(node("c", "C"), node("a", "A"))])]
+        )
+        exact = brute_force_probability(model, labeling, union).probability
+        result = mis_amp_adaptive(
+            model, labeling, union, rng=rng, n_per_proposal=400
+        )
+        assert result.stats["iterations"] >= 2
+        assert result.probability == pytest.approx(exact, rel=0.2)
+
+    def test_unsatisfiable(self, rng):
+        model = Mallows(list(range(3)), 0.5)
+        labeling = Labeling({0: set(), 1: set(), 2: set()})
+        pattern = LabelPattern([(node("a", "A"), node("b", "B"))])
+        result = mis_amp_adaptive(model, labeling, pattern, rng=rng)
+        assert result.probability == 0.0
+
+
+class TestRejectionStoppingRule:
+    def test_stops_when_within_tolerance(self, rng):
+        model = Mallows(list(range(4)), 0.5)
+        psi = SubRanking([3, 0])
+        exact = exact_subranking_probability(model, psi)
+        result = rejection_until_within(
+            model, psi.is_consistent_with, exact, 0.05, rng,
+            max_samples=200_000,
+        )
+        assert abs(result.estimate - exact) / exact <= 0.05
+        assert result.n_samples < 200_000

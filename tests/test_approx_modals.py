@@ -1,0 +1,91 @@
+"""Tests for the greedy modal search (Algorithms 5 and 6)."""
+
+from repro.approx.modals import (
+    approximate_distance,
+    greedy_completion,
+    greedy_modals,
+)
+from repro.rankings.kendall import kendall_tau
+from repro.rankings.permutation import Ranking
+from repro.rankings.subranking import SubRanking
+from tests.conftest import random_instance
+
+
+class TestGreedyModals:
+    def test_paper_example_5_2(self):
+        # psi0 = <s3, s1> over sigma0 = <s1, s2, s3> yields exactly the two
+        # modals <s3, s1, s2> and <s2, s3, s1> (paper Example 5.2).
+        sigma = Ranking(["s1", "s2", "s3"])
+        modals = greedy_modals(SubRanking(["s3", "s1"]), sigma)
+        assert {m.items for m in modals} == {
+            ("s3", "s1", "s2"),
+            ("s2", "s3", "s1"),
+        }
+
+    def test_empty_subranking_yields_center(self):
+        sigma = Ranking([1, 2, 3, 4])
+        modals = greedy_modals(SubRanking([]), sigma)
+        assert modals == [sigma]
+
+    def test_modals_are_complete_and_consistent(self, pyrng):
+        from repro.approx.decompose import union_subrankings
+
+        for _ in range(20):
+            model, labeling, union = random_instance(
+                pyrng, m_choices=(5, 6), max_patterns=2, max_nodes=3
+            )
+            for psi in union_subrankings(union, labeling)[:5]:
+                for modal in greedy_modals(psi, model.sigma):
+                    assert sorted(modal.items) == sorted(model.sigma.items)
+                    assert psi.is_consistent_with(modal)
+
+    def test_modals_minimize_distance_exactly_small(self, pyrng):
+        # For small m, greedy modals should reach the true minimum distance
+        # among completions (the greedy is a heuristic, but on short
+        # sub-rankings over few items it is exact in practice; we assert it
+        # never does worse than the true optimum + 1).
+        sigma = Ranking([0, 1, 2, 3, 4])
+        for psi_items in [(4, 0), (3, 1, 0), (2, 4)]:
+            psi = SubRanking(psi_items)
+            best = min(
+                kendall_tau(sigma, tau)
+                for tau in Ranking.all_rankings(range(5))
+                if psi.is_consistent_with(tau)
+            )
+            achieved = min(
+                kendall_tau(sigma, modal)
+                for modal in greedy_modals(psi, sigma)
+            )
+            assert achieved <= best + 1
+
+    def test_max_modals_cap(self):
+        sigma = Ranking(range(8))
+        # An empty sub-ranking with uniform ties would explode without a cap.
+        modals = greedy_modals(SubRanking([7, 0]), sigma, max_modals=4)
+        assert len(modals) <= 4
+
+
+class TestApproximateDistance:
+    def test_distance_of_consistent_subranking_is_zero(self):
+        sigma = Ranking([1, 2, 3, 4, 5])
+        assert approximate_distance(SubRanking([1, 3, 5]), sigma) == 0
+
+    def test_upper_bounds_true_distance(self, pyrng):
+        sigma = Ranking(range(6))
+        for _ in range(30):
+            items = pyrng.sample(range(6), pyrng.randint(1, 4))
+            psi = SubRanking(items)
+            estimate = approximate_distance(psi, sigma)
+            best = min(
+                kendall_tau(sigma, tau)
+                for tau in Ranking.all_rankings(range(6))
+                if psi.is_consistent_with(tau)
+            )
+            assert estimate >= best
+
+    def test_greedy_completion_contains_psi(self):
+        sigma = Ranking(range(5))
+        psi = SubRanking([4, 2, 0])
+        completion = greedy_completion(psi, sigma)
+        assert psi.is_consistent_with(completion)
+        assert sorted(completion.items) == list(range(5))

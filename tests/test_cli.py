@@ -1,0 +1,43 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import EXPERIMENTS, main
+
+
+class TestList:
+    def test_lists_all_experiments(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in out
+
+
+class TestFigure:
+    def test_runs_fast_figure(self, capsys):
+        assert main(["figure", "5", "--fast"]) == 0
+        out = capsys.readouterr().out
+        assert "figure_5" in out
+        assert "conjunction_size" in out
+
+    def test_unknown_figure(self, capsys):
+        assert main(["figure", "99"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown experiment" in err
+
+    def test_every_fast_config_is_valid(self):
+        # Every registered experiment must accept its fast kwargs (the
+        # runners evolve; this catches signature drift without running the
+        # heavy ones).
+        import inspect
+
+        for name, (runner, kwargs) in EXPERIMENTS.items():
+            signature = inspect.signature(runner)
+            for key in kwargs:
+                assert key in signature.parameters, (name, key)
+
+
+class TestArgparse:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

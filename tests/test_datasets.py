@@ -1,0 +1,218 @@
+"""Tests for the benchmark and database generators (Section 6.1)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.benchmarks import (
+    benchmark_a,
+    benchmark_b,
+    benchmark_c,
+    benchmark_d,
+)
+from repro.datasets.crowdrank import crowdrank_database
+from repro.datasets.movielens import movielens_database
+from repro.datasets.polls import polls_database
+
+
+class TestBenchmarkA:
+    def test_structure(self):
+        instances = benchmark_a(n_unions=3, m=10, items_per_label=2)
+        assert len(instances) == 3
+        for instance in instances:
+            assert instance.union.z == 3
+            for pattern in instance.union:
+                assert pattern.is_bipartite()
+                assert pattern.size == 4
+                assert len(pattern.edges) == 3
+
+    def test_shared_b_and_d_labels(self):
+        instance = benchmark_a(n_unions=1, m=10, items_per_label=2)[0]
+        # All three patterns reference the same B and D labels.
+        for pattern in instance.union:
+            names = {n.name for n in pattern.nodes}
+            assert "B" in names and "D" in names
+
+    def test_items_per_label(self):
+        instance = benchmark_a(n_unions=1, m=12, items_per_label=3)[0]
+        for label in ("B", "D", "A0", "C2"):
+            assert instance.labeling.label_count(label) == 3
+
+    def test_deterministic_with_seed(self):
+        a = benchmark_a(n_unions=2, m=10, seed=99)
+        b = benchmark_a(n_unions=2, m=10, seed=99)
+        assert a[0].labeling == b[0].labeling
+        assert a[0].union == b[0].union
+
+    def test_low_probability_bias(self):
+        # A/B items are drawn from the bottom of sigma, C/D from the top, so
+        # A-above-C events are biased to be rare.
+        instance = benchmark_a(n_unions=1, m=15, items_per_label=3, seed=1)[0]
+        sigma = instance.model.sigma
+        a_ranks = [
+            sigma.rank_of(i)
+            for i in instance.labeling.items_with_label("A0")
+        ]
+        c_ranks = [
+            sigma.rank_of(i)
+            for i in instance.labeling.items_with_label("C0")
+        ]
+        assert np.mean(a_ranks) > np.mean(c_ranks)
+
+
+class TestBenchmarkB:
+    def test_instance_count(self):
+        instances = list(
+            benchmark_b(
+                m_values=(10,),
+                patterns_per_union=(1, 2),
+                labels_per_pattern=(3,),
+                items_per_label=(3,),
+                instances_per_combo=2,
+            )
+        )
+        assert len(instances) == 4
+
+    def test_shared_edge_shape_within_union(self):
+        instance = next(
+            iter(
+                benchmark_b(
+                    m_values=(10,),
+                    patterns_per_union=(3,),
+                    labels_per_pattern=(4,),
+                    items_per_label=(3,),
+                    instances_per_combo=1,
+                )
+            )
+        )
+        edge_counts = {len(p.edges) for p in instance.union}
+        assert len(edge_counts) == 1  # same shape across patterns
+
+    def test_no_isolated_nodes(self):
+        for instance in benchmark_b(
+            m_values=(10,),
+            patterns_per_union=(1,),
+            labels_per_pattern=(3, 5),
+            items_per_label=(3,),
+            instances_per_combo=3,
+        ):
+            for pattern in instance.union:
+                involved = {n for e in pattern.edges for n in e}
+                assert involved == set(pattern.nodes)
+
+
+class TestBenchmarkC:
+    def test_bipartite(self):
+        for instance in benchmark_c(
+            m_values=(8,),
+            patterns_per_union=(2,),
+            labels_per_pattern=(2, 3, 4),
+            items_per_label=(1, 3),
+            instances_per_combo=2,
+        ):
+            assert instance.union.is_bipartite()
+
+    def test_parameters_recorded(self):
+        instance = next(
+            iter(
+                benchmark_c(
+                    m_values=(8,),
+                    patterns_per_union=(2,),
+                    labels_per_pattern=(3,),
+                    items_per_label=(1,),
+                    instances_per_combo=1,
+                )
+            )
+        )
+        assert instance.params["m"] == 8
+        assert instance.params["z"] == 2
+
+
+class TestBenchmarkD:
+    def test_two_label(self):
+        for instance in benchmark_d(
+            m_values=(10,),
+            patterns_per_union=(2, 5),
+            items_per_label=(3,),
+            instances_per_combo=2,
+        ):
+            assert instance.union.is_two_label()
+            assert instance.model.phi == 0.5
+
+
+class TestPolls:
+    def test_schema(self):
+        db = polls_database(n_candidates=8, n_voters=20)
+        assert db.orelation("C").columns == (
+            "candidate", "party", "sex", "age", "edu", "reg",
+        )
+        assert db.orelation("V").columns == ("voter", "sex", "age", "edu")
+        assert db.prelation("P").n_sessions == 20
+
+    def test_one_session_per_voter(self):
+        db = polls_database(n_candidates=6, n_voters=15)
+        voters = {key[0] for key in db.prelation("P").session_keys()}
+        assert len(voters) == 15
+
+    def test_models_within_group_parameters(self):
+        db = polls_database(n_candidates=6, n_voters=30, phis=(0.2, 0.5))
+        for key in db.prelation("P").session_keys():
+            model = db.prelation("P").model_of(key)
+            assert model.phi in (0.2, 0.5)
+            assert len(model.items) == 6
+
+
+class TestMovieLens:
+    def test_catalog(self):
+        db = movielens_database(n_movies=20, n_users=10, n_components=3)
+        movies = db.orelation("M")
+        assert len(movies) == 20
+        years = [row[2] for row in movies.rows]
+        assert any(y < 1990 for y in years) and any(y >= 1990 for y in years)
+
+    def test_component_sharing(self):
+        db = movielens_database(n_movies=10, n_users=30, n_components=3)
+        models = {
+            id(db.prelation("P").model_of(key))
+            for key in db.prelation("P").session_keys()
+        }
+        assert len(models) <= 3
+
+    def test_genre_diversity_grows_with_catalog(self):
+        small = movielens_database(n_movies=10, n_users=1, seed=3)
+        large = movielens_database(n_movies=150, n_users=1, seed=3)
+        genres_small = set(small.orelation("M").active_domain(3))
+        genres_large = set(large.orelation("M").active_domain(3))
+        assert len(genres_large) >= len(genres_small)
+
+
+class TestCrowdRank:
+    def test_schema_and_sizes(self):
+        db = crowdrank_database(n_workers=100, n_movies=12, n_components=4)
+        assert len(db.orelation("M")) == 12
+        assert len(db.orelation("V")) == 100
+        assert db.prelation("P").n_sessions == 100
+
+    def test_model_sharing_for_grouping(self):
+        db = crowdrank_database(n_workers=500, n_movies=10, n_components=5)
+        models = {
+            id(db.prelation("P").model_of(key))
+            for key in db.prelation("P").session_keys()
+        }
+        assert len(models) <= 5
+
+    def test_demographic_correlation(self):
+        # Most workers in the same (sex, age) group share the home component.
+        db = crowdrank_database(n_workers=600, n_movies=8, n_components=4, seed=2)
+        voters = db.orelation("V")
+        groups: dict[tuple, dict[int, int]] = {}
+        for row in voters.rows:
+            voter, sex, age = row
+            model_id = id(db.prelation("P").model_of((voter,)))
+            groups.setdefault((sex, age), {}).setdefault(model_id, 0)
+            groups[(sex, age)][model_id] += 1
+        dominant_fractions = [
+            max(counts.values()) / sum(counts.values())
+            for counts in groups.values()
+            if sum(counts.values()) >= 10
+        ]
+        assert np.mean(dominant_fractions) > 0.6

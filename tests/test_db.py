@@ -1,0 +1,118 @@
+"""Tests for the RIM-PPD database layer."""
+
+import pytest
+
+from repro.db.database import PPDatabase
+from repro.db.examples import polling_example
+from repro.db.schema import ORelation, PRelation
+from repro.rim.mallows import Mallows
+
+
+class TestORelation:
+    def test_arity_validated(self):
+        with pytest.raises(ValueError, match="columns"):
+            ORelation("R", ["a", "b"], [(1,)])
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            ORelation("R", ["a", "a"], [])
+
+    def test_active_domain(self):
+        relation = ORelation("R", ["x", "y"], [(1, "p"), (2, "p"), (1, "q")])
+        assert relation.active_domain(0) == [1, 2]
+        assert relation.active_domain(1) == ["p", "q"]
+
+    def test_rows_where(self):
+        relation = ORelation("R", ["x", "y"], [(1, "p"), (2, "p"), (1, "q")])
+        assert list(relation.rows_where({0: 1})) == [(1, "p"), (1, "q")]
+        assert relation.first_row_where({0: 1, 1: "q"}) == (1, "q")
+        assert relation.first_row_where({0: 9}) is None
+
+    def test_column_index(self):
+        relation = ORelation("R", ["x", "y"], [])
+        assert relation.column_index("y") == 1
+        with pytest.raises(KeyError):
+            relation.column_index("z")
+
+
+class TestPRelation:
+    def test_key_arity_validated(self):
+        model = Mallows([1, 2], 0.5)
+        with pytest.raises(ValueError, match="does not match"):
+            PRelation("P", ["voter", "date"], {("a",): model})
+
+    def test_mixed_universes_rejected(self):
+        with pytest.raises(ValueError, match="different item universe"):
+            PRelation(
+                "P",
+                ["s"],
+                {("a",): Mallows([1, 2], 0.5), ("b",): Mallows([1, 3], 0.5)},
+            )
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="at least one session"):
+            PRelation("P", ["s"], {})
+
+    def test_scalar_keys_normalized(self):
+        model = Mallows([1, 2], 0.5)
+        relation = PRelation("P", ["s"], {"x": model})
+        assert ("x",) in relation
+        assert relation.model_of(("x",)) is model
+
+    def test_session_lookup(self):
+        model = Mallows([1, 2], 0.5)
+        relation = PRelation("P", ["s"], {("x",): model})
+        with pytest.raises(KeyError):
+            relation.model_of(("y",))
+
+
+class TestPPDatabase:
+    def test_duplicate_names_rejected(self):
+        r = ORelation("R", ["x"], [])
+        with pytest.raises(ValueError, match="duplicate"):
+            PPDatabase(orelations=[r, r])
+
+    def test_o_p_name_clash_rejected(self):
+        r = ORelation("P", ["x"], [])
+        p = PRelation("P", ["s"], {("a",): Mallows([1, 2], 0.5)})
+        with pytest.raises(ValueError, match="both"):
+            PPDatabase(orelations=[r], prelations=[p])
+
+    def test_lookup_errors(self):
+        db = polling_example()
+        with pytest.raises(KeyError):
+            db.orelation("nope")
+        with pytest.raises(KeyError):
+            db.prelation("nope")
+
+    def test_sample_world_covers_all_sessions(self, rng):
+        db = polling_example()
+        world = db.sample_world(rng)
+        assert len(world) == 3
+        for (_, key), ranking in world.items():
+            assert sorted(ranking.items) == sorted(
+                db.prelation("P").items
+            )
+
+    def test_item_satisfies(self):
+        db = polling_example()
+        # Clinton: party D, sex F, age 69, edu JD, reg NE.
+        assert db.item_satisfies("Clinton", "C", {1: "D", 2: "F"})
+        assert not db.item_satisfies("Clinton", "C", {1: "R"})
+        assert db.item_satisfies("Clinton", "C", {}, predicates=[(3, ">=", 69)])
+        assert not db.item_satisfies("Clinton", "C", {}, predicates=[(3, "<", 69)])
+        assert not db.item_satisfies("Nobody", "C", {})
+
+
+class TestPollingExample:
+    def test_figure_1_contents(self):
+        db = polling_example()
+        candidates = db.orelation("C")
+        assert len(candidates) == 4
+        trump = candidates.first_row_where({0: "Trump"})
+        assert trump == ("Trump", "R", "M", 70, "BS", "NE")
+        polls = db.prelation("P")
+        assert polls.n_sessions == 3
+        ann = polls.model_of(("Ann", "5/5"))
+        assert ann.phi == 0.3
+        assert ann.sigma.items == ("Clinton", "Sanders", "Rubio", "Trump")

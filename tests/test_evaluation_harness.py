@@ -1,0 +1,88 @@
+"""Tests for the evaluation harness utilities."""
+
+import math
+
+import pytest
+
+from repro.evaluation.harness import (
+    Timer,
+    format_table,
+    geometric_mean,
+    percentile,
+    relative_error,
+    save_text,
+)
+
+
+class TestTimer:
+    def test_measures_elapsed(self):
+        with Timer() as timer:
+            sum(range(10_000))
+        assert timer.seconds > 0.0
+
+
+class TestRelativeError:
+    def test_basic(self):
+        assert relative_error(1.1, 1.0) == pytest.approx(0.1)
+
+    def test_zero_exact_zero_estimate(self):
+        assert relative_error(0.0, 0.0) == 0.0
+
+    def test_zero_exact_nonzero_estimate(self):
+        assert relative_error(0.5, 0.0) == math.inf
+
+
+class TestPercentile:
+    def test_median_odd(self):
+        assert percentile([3.0, 1.0, 2.0], 50) == 2.0
+
+    def test_median_even_interpolates(self):
+        assert percentile([1.0, 2.0, 3.0, 4.0], 50) == 2.5
+
+    def test_extremes(self):
+        values = [5.0, 1.0, 3.0]
+        assert percentile(values, 0) == 1.0
+        assert percentile(values, 100) == 5.0
+
+    def test_single_value(self):
+        assert percentile([7.0], 50) == 7.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+
+class TestGeometricMean:
+    def test_basic(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_non_positive_rejected(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+
+class TestFormatTable:
+    def test_alignment_and_content(self):
+        table = format_table(
+            ["name", "value"], [["a", 1.5], ["long-name", 0.00001]]
+        )
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert "name" in lines[0]
+        assert "long-name" in lines[3] or "long-name" in lines[2]
+        assert "1.000e-05" in table
+
+    def test_handles_mixed_types(self):
+        table = format_table(["x"], [[True], [None], [3]])
+        assert "True" in table and "None" in table
+
+
+class TestSaveText:
+    def test_creates_parents(self, tmp_path):
+        target = tmp_path / "nested" / "out.txt"
+        save_text(target, "hello")
+        assert target.read_text() == "hello"

@@ -1,0 +1,86 @@
+"""Coverage for small utilities and docstring examples."""
+
+import doctest
+
+import pytest
+
+import repro.evaluation.harness
+import repro.rim.mallows
+import repro.rim.marginals
+from repro.patterns.pattern import LabelPattern, node
+from repro.patterns.union import PatternUnion
+from repro.query.parser import parse_query
+from repro.rim.sampling import EstimateResult
+
+
+class TestDoctests:
+    @pytest.mark.parametrize(
+        "module",
+        [
+            repro.rim.mallows,
+            repro.rim.marginals,
+            repro.evaluation.harness,
+        ],
+        ids=lambda m: m.__name__,
+    )
+    def test_module_doctests(self, module):
+        failures, _ = doctest.testmod(module, verbose=False)
+        assert failures == 0
+
+
+class TestEstimateResult:
+    def test_hit_rate(self):
+        assert EstimateResult(0.5, 100, 50).hit_rate == 0.5
+        assert EstimateResult(0.0, 0, 0).hit_rate == 0.0
+
+
+class TestUnionHelpers:
+    def _union(self):
+        g1 = LabelPattern([(node("a", "A"), node("b", "B"))])
+        g2 = LabelPattern([(node("c", "C"), node("d", "D"))])
+        g3 = LabelPattern(
+            [(node("e", "A"), node("f", "B")), (node("e", "A"), node("g", "C"))]
+        )
+        return PatternUnion([g1, g2, g3])
+
+    def test_restrict(self):
+        union = self._union()
+        sub = union.restrict([0, 2])
+        assert sub.z == 2
+        assert union[0] in sub.patterns and union[2] in sub.patterns
+
+    def test_total_label_count(self):
+        assert self._union().total_label_count() == 2 + 2 + 3
+
+    def test_indexing_and_iteration(self):
+        union = self._union()
+        assert list(union)[1] is union[1]
+        assert len(union) == 3
+
+
+class TestParserEdgeCases:
+    def test_negative_numbers(self):
+        q = parse_query("P(_; x; y), M(x, v), v >= -5")
+        assert q.comparisons[0].value == -5
+
+    def test_floats(self):
+        q = parse_query("P(_; x; y), M(x, v), v < 2.5")
+        assert q.comparisons[0].value == 2.5
+
+    def test_whitespace_insensitive(self):
+        a = parse_query("P(_;x;y),M(x,'G')")
+        b = parse_query("  P( _ ; x ; y ) ,  M( x , 'G' )  ")
+        assert a == b
+
+    def test_repr_round_trip_structure(self):
+        q = parse_query("P(_, d; c1; c2), C(c1, 'D', e), d = '5/5'")
+        text = repr(q)
+        assert "P(" in text and "C(" in text and "= '5/5'" in text
+
+
+class TestHarnessResultsDir:
+    def test_points_inside_benchmarks(self):
+        from repro.evaluation.harness import results_dir
+
+        path = results_dir()
+        assert path.parent.name == "benchmarks"

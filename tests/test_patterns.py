@@ -1,0 +1,240 @@
+"""Tests for labelings, patterns, unions, and embedding matching."""
+
+import pytest
+
+from repro.patterns.labels import Labeling
+from repro.patterns.matching import (
+    enumerate_embeddings,
+    find_embedding,
+    matches,
+    matches_union,
+)
+from repro.patterns.pattern import (
+    LabelPattern,
+    PatternNode,
+    chain_pattern,
+    node,
+    pattern_conjunction,
+)
+from repro.patterns.union import PatternUnion
+from repro.rankings.permutation import Ranking
+
+
+class TestLabeling:
+    def test_labels_of_default_empty(self):
+        labeling = Labeling({"a": {"X"}})
+        assert labeling.labels_of("a") == {"X"}
+        assert labeling.labels_of("unknown") == frozenset()
+
+    def test_items_with_label(self):
+        labeling = Labeling({"a": {"X"}, "b": {"X", "Y"}, "c": set()})
+        assert labeling.items_with_label("X") == {"a", "b"}
+        assert labeling.items_with_label("Y") == {"b"}
+        assert labeling.items_with_label("Z") == frozenset()
+
+    def test_items_matching_conjunction(self):
+        labeling = Labeling({"a": {"X"}, "b": {"X", "Y"}})
+        assert labeling.items_matching({"X", "Y"}) == {"b"}
+        assert labeling.items_matching(set()) == {"a", "b"}
+
+    def test_restrict(self):
+        labeling = Labeling({"a": {"X"}, "b": {"Y"}})
+        restricted = labeling.restrict({"a"})
+        assert restricted.items == {"a"}
+
+    def test_extended(self):
+        labeling = Labeling({"a": {"X"}})
+        extended = labeling.extended({"a": {"Y"}, "b": {"Z"}})
+        assert extended.labels_of("a") == {"X", "Y"}
+        assert extended.labels_of("b") == {"Z"}
+
+    def test_from_attribute_rows(self):
+        labeling = Labeling.from_attribute_rows(
+            {"t": {"sex": "M", "party": "R"}}
+        )
+        assert ("sex", "M") in labeling.labels_of("t")
+
+
+class TestPatternStructure:
+    def test_cycle_rejected(self):
+        a, b = node("a", "X"), node("b", "Y")
+        with pytest.raises(ValueError, match="cycle"):
+            LabelPattern([(a, b), (b, a)])
+
+    def test_self_loop_rejected(self):
+        a = node("a", "X")
+        with pytest.raises(ValueError, match="self-loop"):
+            LabelPattern([(a, a)])
+
+    def test_duplicate_names_rejected(self):
+        a1 = PatternNode("a", frozenset({"X"}))
+        a2 = PatternNode("a", frozenset({"Y"}))
+        with pytest.raises(ValueError, match="duplicate node names"):
+            LabelPattern([(a1, a2)])
+
+    def test_two_label_classification(self):
+        a, b, c = node("a", "X"), node("b", "Y"), node("c", "Z")
+        assert LabelPattern([(a, b)]).is_two_label()
+        assert not LabelPattern([(a, b), (a, c)]).is_two_label()
+
+    def test_bipartite_classification(self):
+        a, b, c, d = (node(n, n.upper()) for n in "abcd")
+        assert LabelPattern([(a, c), (b, c), (b, d)]).is_bipartite()
+        # a chain has a middle node with in and out edges
+        assert not LabelPattern([(a, b), (b, c)]).is_bipartite()
+        # isolated nodes disqualify
+        assert not LabelPattern([(a, b)], nodes=[a, b, c]).is_bipartite()
+
+    def test_left_right_nodes(self):
+        a, b, c = node("a", "A"), node("b", "B"), node("c", "C")
+        pattern = LabelPattern([(a, c), (b, c)])
+        assert pattern.left_nodes() == {a, b}
+        assert pattern.right_nodes() == {c}
+
+    def test_topological_order_parents_first(self):
+        a, b, c = node("a", "A"), node("b", "B"), node("c", "C")
+        pattern = LabelPattern([(a, b), (b, c)])
+        order = pattern.topological_order
+        assert order.index(a) < order.index(b) < order.index(c)
+
+    def test_transitive_closure(self):
+        a, b, c = node("a", "A"), node("b", "B"), node("c", "C")
+        closure = LabelPattern([(a, b), (b, c)]).transitive_closure()
+        assert (a, c) in closure.edges
+
+
+class TestConjunction:
+    def test_conjunction_keeps_witnesses_separate(self):
+        # g1 = {A > B}, g2 = {B > A}: both can hold simultaneously with
+        # different witnesses, so the conjunction must stay acyclic.
+        a1, b1 = node("a", "A"), node("b", "B")
+        g1 = LabelPattern([(a1, b1)])
+        g2 = LabelPattern([(node("b", "B"), node("a", "A"))])
+        conj = pattern_conjunction([g1, g2])
+        assert conj.size == 4
+        labeling = Labeling({1: {"A"}, 2: {"B"}, 3: {"A"}})
+        tau = Ranking([1, 2, 3])  # A at 1 > B at 2 > A at 3
+        assert matches(tau, conj, labeling)
+
+    def test_conjunction_with_self_is_equivalent(self):
+        a, b = node("a", "A"), node("b", "B")
+        g = LabelPattern([(a, b)])
+        conj = pattern_conjunction([g, g])
+        labeling = Labeling({1: {"A"}, 2: {"B"}})
+        assert matches(Ranking([1, 2]), conj, labeling)
+        assert not matches(Ranking([2, 1]), conj, labeling)
+
+    def test_single_conjunct_unchanged(self):
+        g = LabelPattern([(node("a", "A"), node("b", "B"))])
+        assert pattern_conjunction([g]) is g
+
+    def test_empty_conjunction_rejected(self):
+        with pytest.raises(ValueError):
+            pattern_conjunction([])
+
+
+class TestUnion:
+    def test_dedupe(self):
+        g = LabelPattern([(node("a", "A"), node("b", "B"))])
+        union = PatternUnion([g, g])
+        assert union.z == 1
+
+    def test_classification(self):
+        a, b, c = node("a", "A"), node("b", "B"), node("c", "C")
+        two_label = PatternUnion([LabelPattern([(a, b)])])
+        assert two_label.is_two_label() and two_label.is_bipartite()
+        chain = PatternUnion([LabelPattern([(a, b), (b, c)])])
+        assert not chain.is_two_label() and not chain.is_bipartite()
+
+    def test_relevant_items(self):
+        g = LabelPattern([(node("a", "A"), node("b", "B"))])
+        labeling = Labeling({1: {"A"}, 2: {"B"}, 3: {"C"}})
+        union = PatternUnion([g])
+        assert union.relevant_items(labeling) == {1, 2}
+
+    def test_served_nodes_of(self):
+        na, nb = node("a", "A"), node("b", "B")
+        union = PatternUnion([LabelPattern([(na, nb)])])
+        labeling = Labeling({1: {"A", "B"}})
+        assert union.served_nodes_of(1, labeling) == {na, nb}
+
+
+class TestMatching:
+    def test_example_2_3(self):
+        # Paper Example 2.3: tau0 = <Trump, Clinton, Sanders, Rubio> with
+        # pattern F > M matches with embedding {F -> 2, M -> 3}.
+        labeling = Labeling(
+            {
+                "Trump": {"M"},
+                "Clinton": {"F"},
+                "Sanders": {"M"},
+                "Rubio": {"M"},
+            }
+        )
+        f, m = node("F", "F"), node("M", "M")
+        pattern = LabelPattern([(f, m)])
+        tau = Ranking(["Trump", "Clinton", "Sanders", "Rubio"])
+        embedding = find_embedding(tau, pattern, labeling)
+        assert embedding == {f: 2, m: 3}
+
+    def test_node_conjunction_requires_all_labels(self):
+        labeling = Labeling({1: {"M"}, 2: {"M", "JD"}, 3: {"BS"}})
+        pattern = LabelPattern(
+            [(node("u", "M", "JD"), node("v", "BS"))]
+        )
+        assert matches(Ranking([2, 3, 1]), pattern, labeling)
+        assert not matches(Ranking([3, 2, 1]), pattern, labeling)
+
+    def test_shared_position_for_incomparable_nodes(self):
+        # Two incomparable nodes may embed at the same position.
+        labeling = Labeling({1: {"A", "B"}, 2: {"C"}})
+        a, b, c = node("a", "A"), node("b", "B"), node("c", "C")
+        pattern = LabelPattern([(a, c), (b, c)])
+        assert matches(Ranking([1, 2]), pattern, labeling)
+
+    def test_isolated_node_requires_existence(self):
+        labeling = Labeling({1: {"A"}, 2: {"B"}})
+        a, b, c = node("a", "A"), node("b", "B"), node("c", "C")
+        pattern = LabelPattern([(a, b)], nodes=[c])
+        assert not matches(Ranking([1, 2]), pattern, labeling)
+
+    def test_greedy_equals_exhaustive(self, pyrng):
+        # The canonical greedy matcher agrees with exhaustive embedding
+        # search over random instances.
+        from tests.conftest import random_instance
+
+        for _ in range(80):
+            model, labeling, union = random_instance(pyrng)
+            for pattern in union:
+                for tau in Ranking.all_rankings(model.items):
+                    greedy = matches(tau, pattern, labeling)
+                    exhaustive = (
+                        next(
+                            iter(enumerate_embeddings(tau, pattern, labeling)),
+                            None,
+                        )
+                        is not None
+                    )
+                    assert greedy == exhaustive
+
+    def test_matching_monotone_under_insertion(self, pyrng):
+        # If tau matches, any ranking obtained by inserting an item still
+        # matches (the absorption property the solvers rely on).
+        from tests.conftest import random_instance
+
+        for _ in range(40):
+            model, labeling, union = random_instance(pyrng, m_choices=(4, 5))
+            items = list(model.items)
+            for tau in Ranking.all_rankings(items[:-1]):
+                if matches_union(tau, union, labeling):
+                    for position in range(1, len(tau) + 2):
+                        grown = tau.insert(items[-1], position)
+                        assert matches_union(grown, union, labeling)
+
+    def test_chain_pattern_helper(self):
+        nodes = [node("a", "A"), node("b", "B"), node("c", "C")]
+        pattern = chain_pattern(nodes)
+        assert len(pattern.edges) == 2
+        labeling = Labeling({1: {"A"}, 2: {"B"}, 3: {"C"}})
+        assert matches(Ranking([1, 2, 3]), pattern, labeling)
+        assert not matches(Ranking([3, 2, 1]), pattern, labeling)

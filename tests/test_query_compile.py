@@ -1,0 +1,150 @@
+"""Tests for itemwise-CQ compilation into patterns and labelings."""
+
+import pytest
+
+from repro.db.examples import polling_example
+from repro.patterns.matching import matches
+from repro.query.classify import UnsupportedQueryError, analyze
+from repro.query.compile import (
+    ConditionLabel,
+    IdentityLabel,
+    compile_itemwise,
+    labeling_for_patterns,
+)
+from repro.query.parser import parse_query
+from repro.rankings.permutation import Ranking
+
+
+@pytest.fixture
+def db():
+    return polling_example()
+
+
+class TestConditionLabels:
+    def test_label_is_hashable_and_stable(self):
+        a = ConditionLabel("C", equalities=((1, "D"),))
+        b = ConditionLabel("C", equalities=((1, "D"),))
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_repr_readable(self):
+        label = ConditionLabel(
+            "C", equalities=((1, "D"),), predicates=((3, ">=", 50),)
+        )
+        text = repr(label)
+        assert "C[1]='D'" in text and "C[3]>=50" in text
+
+    def test_identity_label(self):
+        assert IdentityLabel("Trump") == IdentityLabel("Trump")
+        assert IdentityLabel("Trump") != IdentityLabel("Rubio")
+
+
+class TestCompileItemwise:
+    def test_variable_nodes_carry_condition_labels(self, db):
+        q = parse_query(
+            "P(_, _; c1; c2), C(c1, 'D', _, _, _, _), C(c2, 'R', _, _, _, _)"
+        )
+        pattern = compile_itemwise(q, db)
+        assert pattern is not None
+        assert pattern.size == 2
+        by_name = {n.name: n for n in pattern.nodes}
+        assert len(by_name["c1"].labels) == 1
+        (label,) = by_name["c1"].labels
+        assert isinstance(label, ConditionLabel)
+        assert label.equalities == ((1, "D"),)
+
+    def test_constants_become_identity_nodes(self, db):
+        q = parse_query("P('Ann', '5/5'; 'Trump'; 'Clinton')")
+        pattern = compile_itemwise(q, db)
+        labels = {next(iter(n.labels)) for n in pattern.nodes}
+        assert labels == {IdentityLabel("Trump"), IdentityLabel("Clinton")}
+
+    def test_multiple_atoms_conjunction(self, db):
+        # Two o-atoms on the same variable become two labels on one node.
+        q = parse_query(
+            "P(_, _; c1; 'Trump'), C(c1, 'D', _, _, _, _), "
+            "C(c1, _, 'F', _, _, _)"
+        )
+        pattern = compile_itemwise(q, db)
+        node = next(n for n in pattern.nodes if n.name == "c1")
+        assert len(node.labels) == 2
+
+    def test_self_comparison_unsatisfiable(self, db):
+        q = parse_query("P(_, _; 'Trump'; 'Trump')")
+        assert compile_itemwise(q, db) is None
+
+    def test_false_global_atom(self, db):
+        q = parse_query(
+            "P(_, _; 'Trump'; 'Clinton'), C('Nixon', _, _, _, _, _)"
+        )
+        assert compile_itemwise(q, db) is None
+
+    def test_true_global_atom(self, db):
+        q = parse_query(
+            "P(_, _; 'Trump'; 'Clinton'), C('Rubio', 'R', _, _, _, _)"
+        )
+        assert compile_itemwise(q, db) is not None
+
+    def test_non_itemwise_rejected(self, db):
+        q = parse_query(
+            "P(_, _; c1; c2), C(c1, 'D', _, _, e, _), C(c2, 'R', _, _, e, _)"
+        )
+        with pytest.raises(UnsupportedQueryError, match="not itemwise"):
+            compile_itemwise(q, db)
+
+    def test_inequality_predicates_in_labels(self, db):
+        q = parse_query(
+            "P(_, _; c1; 'Trump'), C(c1, _, _, age, _, _), age >= 70"
+        )
+        pattern = compile_itemwise(q, db)
+        labeling = labeling_for_patterns(
+            [pattern], db.prelation("P").items, db
+        )
+        node = next(n for n in pattern.nodes if n.name == "c1")
+        (label,) = node.labels
+        # Trump (70) and Sanders (75) qualify; Clinton (69) does not.
+        assert labeling.items_with_label(label) == {"Trump", "Sanders"}
+
+
+class TestLabelingEvaluation:
+    def test_identity_labeling(self, db):
+        q = parse_query("P(_, _; 'Trump'; 'Clinton')")
+        pattern = compile_itemwise(q, db)
+        labeling = labeling_for_patterns(
+            [pattern], db.prelation("P").items, db
+        )
+        assert labeling.items_with_label(IdentityLabel("Trump")) == {"Trump"}
+
+    def test_end_to_end_matching(self, db):
+        q = parse_query(
+            "P(_, _; c1; c2), C(c1, _, 'F', _, _, _), C(c2, _, 'M', _, _, _)"
+        )
+        pattern = compile_itemwise(q, db)
+        labeling = labeling_for_patterns(
+            [pattern], db.prelation("P").items, db
+        )
+        # Clinton (F) above any male matches; Clinton ranked last does not.
+        assert matches(
+            Ranking(["Clinton", "Trump", "Sanders", "Rubio"]),
+            pattern,
+            labeling,
+        )
+        assert not matches(
+            Ranking(["Trump", "Sanders", "Rubio", "Clinton"]),
+            pattern,
+            labeling,
+        )
+
+    def test_wildcard_node_matches_everything(self, db):
+        q = parse_query("P(_, _; _; 'Clinton')")
+        pattern = compile_itemwise(q, db)
+        labeling = labeling_for_patterns(
+            [pattern], db.prelation("P").items, db
+        )
+        wildcard_node = next(n for n in pattern.nodes if not n.labels)
+        served = [
+            item
+            for item in db.prelation("P").items
+            if wildcard_node.labels <= labeling.labels_of(item)
+        ]
+        assert set(served) == set(db.prelation("P").items)

@@ -1,0 +1,259 @@
+"""End-to-end tests for query evaluation over the Figure 1 database.
+
+Hand-computed and Monte-Carlo-validated probabilities for the paper's
+running examples Q0, Q1, Q2, plus grounding, grouping, count, and top-k.
+"""
+
+import numpy as np
+import pytest
+
+from repro.db.examples import polling_example
+from repro.query.aggregates import count_session, most_probable_session
+from repro.query.classify import analyze
+from repro.query.engine import compile_session_work, evaluate
+from repro.query.ground import decompose_query, variable_domain
+from repro.query.parser import parse_query
+from repro.query.ast import Variable
+
+
+@pytest.fixture
+def db():
+    return polling_example()
+
+
+def world_probability(db, predicate, n=30_000, seed=7) -> float:
+    """Monte-Carlo estimate of Pr over possible worlds."""
+    rng = np.random.default_rng(seed)
+    hits = 0
+    for _ in range(n):
+        if predicate(db.sample_world(rng)):
+            hits += 1
+    return hits / n
+
+
+class TestGrounding:
+    def test_q2_domain_of_e(self, db):
+        q = parse_query(
+            "P(_, _; c1; c2), C(c1, 'D', _, _, e, _), C(c2, 'R', _, _, e, _)"
+        )
+        analysis = analyze(q, db)
+        # edu values in Candidates: BS (Trump, Sanders), JD (Clinton, Rubio).
+        assert variable_domain(Variable("e"), analysis, db) == ["BS", "JD"]
+
+    def test_q2_decomposes_into_two_queries(self, db):
+        q = parse_query(
+            "P(_, _; c1; c2), C(c1, 'D', _, _, e, _), C(c2, 'R', _, _, e, _)"
+        )
+        grounded = list(decompose_query(q, db))
+        assert len(grounded) == 2
+        assignments = [a for a, _ in grounded]
+        assert {tuple(a.values()) for a in assignments} == {("BS",), ("JD",)}
+
+    def test_itemwise_passthrough(self, db):
+        q = parse_query("P(_, _; 'Trump'; 'Clinton')")
+        grounded = list(decompose_query(q, db))
+        assert len(grounded) == 1
+        assert grounded[0][0] == {}
+
+
+class TestEvaluation:
+    def test_q0_exact(self, db):
+        # Pr over MAL(<Clinton, Sanders, Rubio, Trump>, 0.3) that Trump is
+        # above Clinton and above Rubio.
+        q = parse_query(
+            "P('Ann', '5/5'; 'Trump'; 'Clinton'), P('Ann', '5/5'; 'Trump'; 'Rubio')"
+        )
+        result = evaluate(q, db)
+        model = db.prelation("P").model_of(("Ann", "5/5"))
+        expected = sum(
+            p
+            for tau, p in model.enumerate_support()
+            if tau.prefers("Trump", "Clinton") and tau.prefers("Trump", "Rubio")
+        )
+        assert result.probability == pytest.approx(expected)
+        assert result.n_sessions == 1
+
+    def test_q1_against_monte_carlo(self, db):
+        q = parse_query(
+            "P(_, _; c1; c2), C(c1, _, 'F', _, _, _), C(c2, _, 'M', _, _, _)"
+        )
+        result = evaluate(q, db)
+
+        def predicate(world):
+            for ranking in world.values():
+                for male in ("Trump", "Sanders", "Rubio"):
+                    if ranking.prefers("Clinton", male):
+                        return True
+            return False
+
+        mc = world_probability(db, predicate)
+        assert result.probability == pytest.approx(mc, abs=0.01)
+
+    def test_q2_against_monte_carlo(self, db):
+        q = parse_query(
+            "P(_, _; c1; c2), C(c1, 'D', _, _, e, _), C(c2, 'R', _, _, e, _)"
+        )
+        result = evaluate(q, db)
+
+        def predicate(world):
+            for ranking in world.values():
+                if ranking.prefers("Sanders", "Trump") or ranking.prefers(
+                    "Clinton", "Rubio"
+                ):
+                    return True
+            return False
+
+        mc = world_probability(db, predicate)
+        assert result.probability == pytest.approx(mc, abs=0.01)
+
+    def test_session_selection_by_constant(self, db):
+        q = parse_query("P('Ann', _; 'Clinton'; 'Trump')")
+        result = evaluate(q, db)
+        assert result.n_sessions == 1
+        assert result.per_session[0].key == ("Ann", "5/5")
+
+    def test_session_selection_by_comparison(self, db):
+        q = parse_query("P(_, d; 'Clinton'; 'Trump'), d = '6/5'")
+        result = evaluate(q, db)
+        assert [e.key for e in result.per_session] == [("Dave", "6/5")]
+
+    def test_exact_methods_agree(self, db):
+        q = parse_query(
+            "P(_, _; c1; c2), C(c1, 'D', _, _, e, _), C(c2, 'R', _, _, e, _)"
+        )
+        values = {
+            method: evaluate(q, db, method=method).probability
+            for method in ("auto", "two_label", "bipartite", "general", "lifted", "brute")
+        }
+        reference = values.pop("brute")
+        for method, value in values.items():
+            assert value == pytest.approx(reference, abs=1e-9), method
+
+    def test_approximate_methods_close(self, db):
+        q = parse_query(
+            "P(_, _; c1; c2), C(c1, 'D', _, _, e, _), C(c2, 'R', _, _, e, _)"
+        )
+        exact = evaluate(q, db).probability
+        rng = np.random.default_rng(11)
+        approx = evaluate(
+            q, db, method="mis_amp_adaptive", rng=rng, n_per_proposal=300
+        ).probability
+        assert approx == pytest.approx(exact, rel=0.2)
+
+    def test_grouping_equals_naive(self, db):
+        q = parse_query(
+            "P(_, _; c1; c2), C(c1, 'D', _, _, _, _), C(c2, 'R', _, _, _, _)"
+        )
+        grouped = evaluate(q, db, group_sessions=True)
+        naive = evaluate(q, db, group_sessions=False)
+        assert grouped.probability == pytest.approx(naive.probability)
+        # Ann and Dave share a reference ranking but have different phi, so
+        # their models differ; grouping saves nothing here but must agree.
+        assert grouped.n_solver_calls <= naive.n_solver_calls
+
+    def test_unsatisfiable_query(self, db):
+        q = parse_query("P(_, _; c1; c2), C(c1, 'Green', _, _, _, _)")
+        result = evaluate(q, db)
+        assert result.probability == pytest.approx(0.0, abs=1e-12)
+
+    def test_self_preference_is_false(self, db):
+        q = parse_query("P('Ann', '5/5'; 'Trump'; 'Trump')")
+        result = evaluate(q, db)
+        assert result.probability == 0.0
+
+    def test_wildcard_item_position(self, db):
+        # P(s; _; 'Clinton'): someone is preferred to Clinton, i.e. Clinton
+        # is not ranked first.
+        q = parse_query("P('Ann', '5/5'; _; 'Clinton')")
+        result = evaluate(q, db)
+        model = db.prelation("P").model_of(("Ann", "5/5"))
+        expected = sum(
+            p
+            for tau, p in model.enumerate_support()
+            if tau.rank_of("Clinton") > 1
+        )
+        assert result.probability == pytest.approx(expected)
+
+
+class TestSessionBoundJoin:
+    def test_voter_demographics_join(self, db):
+        # Does some voter prefer a candidate of the voter's own sex to one
+        # of the opposite sex?  Ann is F: pattern F > M for her session.
+        q = parse_query(
+            "P(v, _; c1; c2), V(v, sex, _, _), C(c1, _, sex, _, _, _), "
+            "C(c2, _, 'M', _, _, _)"
+        )
+        works = compile_session_work(q, db)
+        by_key = {w.key: w for w in works}
+        # Bob (M) compiles an M > M pattern; Ann (F) an F > M pattern.
+        assert by_key[("Ann", "5/5")].union is not None
+        assert by_key[("Bob", "5/5")].union is not None
+        assert (
+            by_key[("Ann", "5/5")].union != by_key[("Bob", "5/5")].union
+        )
+
+        result = evaluate(q, db)
+
+        def predicate(world):
+            sex_of = {"Ann": "F", "Bob": "M", "Dave": "M"}
+            males = ("Trump", "Sanders", "Rubio")
+            for (_, key), ranking in world.items():
+                voter_sex = sex_of[key[0]]
+                same = (
+                    ("Clinton",) if voter_sex == "F" else males
+                )
+                for a in same:
+                    for b in males:
+                        if a != b and ranking.prefers(a, b):
+                            return True
+            return False
+
+        mc = world_probability(db, predicate)
+        assert result.probability == pytest.approx(mc, abs=0.01)
+
+
+class TestAggregates:
+    def test_count_is_sum_of_session_probabilities(self, db):
+        q = parse_query(
+            "P(_, _; c1; c2), C(c1, 'D', _, _, e, _), C(c2, 'R', _, _, e, _)"
+        )
+        count = count_session(q, db)
+        result = evaluate(q, db)
+        assert count.expectation == pytest.approx(
+            sum(e.probability for e in result.per_session)
+        )
+        assert len(count.per_session) == 3
+
+    def test_topk_strategies_agree(self, db):
+        q = parse_query(
+            "P(_, _; c1; c2), C(c1, 'D', _, _, e, _), C(c2, 'R', _, _, e, _)"
+        )
+        for k in (1, 2, 3):
+            naive = most_probable_session(q, db, k=k, strategy="naive")
+            for n_edges in (1, 2):
+                optimized = most_probable_session(
+                    q, db, k=k, strategy="upper_bound", n_edges=n_edges
+                )
+                assert [key for key, _ in optimized.sessions] == [
+                    key for key, _ in naive.sessions
+                ]
+                probs_opt = [p for _, p in optimized.sessions]
+                probs_naive = [p for _, p in naive.sessions]
+                assert probs_opt == pytest.approx(probs_naive)
+
+    def test_topk_optimization_saves_work(self, db):
+        q = parse_query(
+            "P(_, _; c1; c2), C(c1, 'D', _, _, e, _), C(c2, 'R', _, _, e, _)"
+        )
+        optimized = most_probable_session(
+            q, db, k=1, strategy="upper_bound", n_edges=1
+        )
+        assert optimized.n_exact_evaluations <= 3
+        assert optimized.n_upper_bound_evaluations == 3
+
+    def test_topk_validates_k(self, db):
+        q = parse_query("P(_, _; 'Trump'; 'Clinton')")
+        with pytest.raises(ValueError):
+            most_probable_session(q, db, k=0)
+        with pytest.raises(ValueError):
+            most_probable_session(q, db, k=1, strategy="magic")

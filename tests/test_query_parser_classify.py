@@ -1,0 +1,170 @@
+"""Tests for query parsing and classification."""
+
+import pytest
+
+from repro.db.examples import polling_example
+from repro.query.ast import (
+    Comparison,
+    ConjunctiveQuery,
+    Constant,
+    PAtom,
+    Variable,
+    WILDCARD,
+)
+from repro.query.classify import UnsupportedQueryError, analyze
+from repro.query.parser import QuerySyntaxError, parse_query
+
+
+@pytest.fixture
+def db():
+    return polling_example()
+
+
+class TestParser:
+    def test_q0(self):
+        q = parse_query(
+            "P('Ann', '5/5'; 'Trump'; 'Clinton'), P('Ann', '5/5'; 'Trump'; 'Rubio')"
+        )
+        assert len(q.p_atoms) == 2
+        assert q.p_atoms[0].left == Constant("Trump")
+        assert q.p_atoms[0].session_terms == (Constant("Ann"), Constant("5/5"))
+
+    def test_q2(self):
+        q = parse_query(
+            "P(_, _; c1; c2), C(c1, 'D', _, _, e, _), C(c2, 'R', _, _, e, _)"
+        )
+        assert len(q.o_atoms) == 2
+        assert q.p_atoms[0].left == Variable("c1")
+        assert q.p_atoms[0].session_terms == (WILDCARD, WILDCARD)
+
+    def test_head_is_optional(self):
+        with_head = parse_query("Q() <- P(_; c1; c2)")
+        without = parse_query("P(_; c1; c2)")
+        assert with_head == without
+
+    def test_comparisons(self):
+        q = parse_query("P(_; x; y), M(x, year), year >= 1990, year < 2000")
+        assert Comparison(Variable("year"), ">=", 1990) in q.comparisons
+        assert Comparison(Variable("year"), "<", 2000) in q.comparisons
+
+    def test_numbers_and_strings(self):
+        q = parse_query('P(_; 223; 111), M(223, "double quoted", 1.5)')
+        assert q.p_atoms[0].left == Constant(223)
+        assert q.o_atoms[0].terms[2] == Constant(1.5)
+
+    def test_syntax_errors(self):
+        for bad in (
+            "P(_; c1)",  # p-atom needs 3 groups
+            "P(_; c1; c2), C(c1",  # unclosed paren
+            "P(_; c1; c2) C(c1, _)",  # missing comma
+            "42",
+            "P(_; a; b; c; d)",
+        ):
+            with pytest.raises(QuerySyntaxError):
+                parse_query(bad)
+
+    def test_no_p_atom_rejected(self):
+        with pytest.raises(ValueError):
+            parse_query("C(c1, 'D')")
+
+
+class TestQueryAst:
+    def test_variables(self):
+        q = parse_query("P(v, _; c1; c2), C(c1, p, _), p = 'D'")
+        names = {v.name for v in q.variables()}
+        assert names == {"v", "c1", "c2", "p"}
+
+    def test_substitute(self):
+        q = parse_query("P(_, _; c1; c2), C(c1, e, _), C(c2, e, _)")
+        bound = q.substitute({Variable("e"): "BS"})
+        assert all(
+            Constant("BS") in atom.terms for atom in bound.o_atoms
+        )
+
+    def test_item_variables(self):
+        q = parse_query("P(_; c1; 'Trump')")
+        assert q.item_variables() == {Variable("c1")}
+
+
+class TestClassification:
+    def test_q0_is_itemwise(self, db):
+        q = parse_query(
+            "P('Ann', '5/5'; 'Trump'; 'Clinton'), P('Ann', '5/5'; 'Trump'; 'Rubio')"
+        )
+        analysis = analyze(q, db)
+        assert analysis.is_itemwise
+        assert analysis.item_variables == set()
+
+    def test_q1_is_itemwise(self, db):
+        q = parse_query(
+            "P(_, _; c1; c2), C(c1, _, 'F', _, _, _), C(c2, _, 'M', _, _, _)"
+        )
+        assert analyze(q, db).is_itemwise
+
+    def test_q2_grounds_e(self, db):
+        q = parse_query(
+            "P(_, _; c1; c2), C(c1, 'D', _, _, e, _), C(c2, 'R', _, _, e, _)"
+        )
+        analysis = analyze(q, db)
+        assert not analysis.is_itemwise
+        assert analysis.groundable == {Variable("e")}
+
+    def test_equality_comparison_folds(self, db):
+        # age = 50 turns the shared variable into a constant: itemwise.
+        q = parse_query(
+            "P(_, date; c1; c2), C(c1, p, _, _, _, 'NE'), C(c2, p, _, _, _, 'MW'), "
+            "date = '5/5'"
+        )
+        analysis = analyze(q, db)
+        assert analysis.groundable == {Variable("p")}
+
+    def test_contradictory_equalities_rejected(self, db):
+        q = parse_query("P(_, d; c1; c2), d = '5/5', d = '6/5'")
+        with pytest.raises(UnsupportedQueryError, match="contradictory"):
+            analyze(q, db)
+
+    def test_different_sessions_rejected(self, db):
+        q = ConjunctiveQuery(
+            p_atoms=(
+                PAtom("P", (Constant("Ann"), Constant("5/5")), Variable("a"), Variable("b")),
+                PAtom("P", (Constant("Bob"), Constant("5/5")), Variable("b"), Variable("c")),
+            )
+        )
+        with pytest.raises(UnsupportedQueryError, match="non-sessionwise"):
+            analyze(q, db)
+
+    def test_unknown_relations_rejected(self, db):
+        with pytest.raises(UnsupportedQueryError, match="unknown p-relation"):
+            analyze(parse_query("X(_; a; b)"), db)
+        with pytest.raises(UnsupportedQueryError, match="unknown o-relation"):
+            analyze(parse_query("P(_, _; a; b), Z(a, _)"), db)
+
+    def test_wrong_session_arity_rejected(self, db):
+        with pytest.raises(UnsupportedQueryError, match="columns"):
+            analyze(parse_query("P(_; a; b)"), db)
+
+    def test_item_variable_must_be_identifier_column(self, db):
+        q = parse_query("P(_, _; c1; c2), C('Trump', c1, _, _, _, _)")
+        with pytest.raises(UnsupportedQueryError, match="first"):
+            analyze(q, db)
+
+    def test_two_item_variables_in_one_atom_rejected(self, db):
+        q = parse_query("P(_, _; c1; c2), C(c1, c2, _, _, _, _)")
+        with pytest.raises(UnsupportedQueryError, match="several item"):
+            analyze(q, db)
+
+    def test_session_bound_variables(self, db):
+        q = parse_query(
+            "P(v, _; c1; c2), V(v, sex, _, _), C(c1, _, sex, _, _, _), "
+            "C(c2, _, 'F', _, _, _)"
+        )
+        analysis = analyze(q, db)
+        assert Variable("sex") in analysis.session_bound
+        # sex is session-bound, not groundable.
+        assert analysis.groundable == set()
+
+    def test_wildcard_sessions_allowed_multi_atom(self, db):
+        # Follows the paper's Figure 14 notation.
+        q = parse_query("P(_, _; 'Trump'; 'Clinton'), P(_, _; 'Trump'; 'Rubio')")
+        analysis = analyze(q, db)
+        assert analysis.is_itemwise

@@ -1,0 +1,111 @@
+"""Unit and property tests for Kendall-tau distances."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.rankings.kendall import (
+    concordant_pairs,
+    discordant_pairs,
+    kendall_tau,
+    kendall_tau_naive,
+    max_kendall_tau,
+    subranking_distance,
+)
+from repro.rankings.permutation import Ranking
+from repro.rankings.subranking import SubRanking
+
+
+class TestBasics:
+    def test_identical(self):
+        tau = Ranking([1, 2, 3])
+        assert kendall_tau(tau, tau) == 0
+
+    def test_adjacent_swap(self):
+        assert kendall_tau(Ranking([1, 2, 3]), Ranking([2, 1, 3])) == 1
+
+    def test_reverse_is_maximum(self):
+        tau = Ranking(range(6))
+        assert kendall_tau(tau, tau.reversed()) == max_kendall_tau(6)
+
+    def test_known_value(self):
+        # <a,b,c> vs <c,a,b>: pairs (a,c) and (b,c) disagree.
+        assert kendall_tau(Ranking("abc"), Ranking("cab")) == 2
+
+    def test_different_item_sets_rejected(self):
+        with pytest.raises(ValueError):
+            kendall_tau(Ranking([1, 2]), Ranking([1, 3]))
+
+    def test_different_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            kendall_tau(Ranking([1, 2]), Ranking([1, 2, 3]))
+
+
+class TestPairDecomposition:
+    def test_discordant_plus_concordant_cover_all(self):
+        a = Ranking([1, 2, 3, 4])
+        b = Ranking([4, 2, 1, 3])
+        disc = discordant_pairs(a, b)
+        conc = concordant_pairs(a, b)
+        assert len(disc) + len(conc) == 6
+        assert len(disc) == kendall_tau(a, b)
+
+    def test_overlapping_item_sets(self):
+        a = Ranking([1, 2, 3])
+        b = Ranking([3, 2, 4])
+        # shared items {2, 3}: a has 2 above 3; b has 3 above 2.
+        assert discordant_pairs(a, b) == [(2, 3)]
+
+
+class TestSubrankingDistance:
+    def test_consistent_subranking(self):
+        sigma = Ranking([1, 2, 3, 4])
+        assert subranking_distance(SubRanking([1, 3]), sigma) == 0
+
+    def test_inverted_subranking(self):
+        sigma = Ranking([1, 2, 3, 4])
+        assert subranking_distance(SubRanking([4, 1]), sigma) == 1
+
+    def test_unknown_items_rejected(self):
+        with pytest.raises(KeyError):
+            subranking_distance(SubRanking([9]), Ranking([1, 2]))
+
+    def test_full_subranking_equals_kendall(self):
+        sigma = Ranking([1, 2, 3, 4])
+        tau = Ranking([3, 1, 4, 2])
+        assert subranking_distance(SubRanking(tau.items), sigma) == kendall_tau(
+            sigma, tau
+        )
+
+
+perms = st.permutations(list(range(7)))
+
+
+@given(perms, perms)
+def test_fast_matches_naive(p1, p2):
+    a, b = Ranking(p1), Ranking(p2)
+    assert kendall_tau(a, b) == kendall_tau_naive(a, b)
+
+
+@given(perms, perms)
+def test_symmetry(p1, p2):
+    a, b = Ranking(p1), Ranking(p2)
+    assert kendall_tau(a, b) == kendall_tau(b, a)
+
+
+@given(perms, perms, perms)
+def test_triangle_inequality(p1, p2, p3):
+    a, b, c = Ranking(p1), Ranking(p2), Ranking(p3)
+    assert kendall_tau(a, c) <= kendall_tau(a, b) + kendall_tau(b, c)
+
+
+@given(perms, perms)
+def test_identity_of_indiscernibles(p1, p2):
+    a, b = Ranking(p1), Ranking(p2)
+    assert (kendall_tau(a, b) == 0) == (a == b)
+
+
+@given(perms)
+def test_distance_bounds(p):
+    tau = Ranking(p)
+    sigma = Ranking(range(7))
+    assert 0 <= kendall_tau(sigma, tau) <= max_kendall_tau(7)

@@ -1,0 +1,141 @@
+"""Tests for partial orders: closure, extensions, consistency."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.rankings.partial_order import CyclicOrderError, PartialOrder
+from repro.rankings.permutation import Ranking
+from repro.rankings.subranking import SubRanking, consistent_subrankings
+
+
+class TestConstruction:
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError, match="self-loop"):
+            PartialOrder([("a", "a")])
+
+    def test_items_include_isolated(self):
+        order = PartialOrder([("a", "b")], items=["c"])
+        assert order.items == {"a", "b", "c"}
+
+    def test_equality(self):
+        assert PartialOrder([("a", "b")]) == PartialOrder([("a", "b")])
+        assert PartialOrder([("a", "b")]) != PartialOrder([("b", "a")])
+
+
+class TestCycles:
+    def test_acyclic(self):
+        assert PartialOrder([("a", "b"), ("b", "c")]).is_acyclic()
+
+    def test_two_cycle(self):
+        assert not PartialOrder([("a", "b"), ("b", "a")]).is_acyclic()
+
+    def test_long_cycle(self):
+        order = PartialOrder([("a", "b"), ("b", "c"), ("c", "a")])
+        assert not order.is_acyclic()
+        with pytest.raises(CyclicOrderError):
+            order.topological_order()
+
+
+class TestClosureAndReduction:
+    def test_chain_closure(self):
+        order = PartialOrder([("a", "b"), ("b", "c")])
+        closure = order.transitive_closure()
+        assert ("a", "c") in closure.edges
+        assert len(closure.edges) == 3
+
+    def test_example_4_4(self):
+        # tc(la > lb > lc) = three edges (paper Example 4.4).
+        order = PartialOrder([("la", "lb"), ("lb", "lc")])
+        assert order.transitive_closure().edges == {
+            ("la", "lb"),
+            ("lb", "lc"),
+            ("la", "lc"),
+        }
+
+    def test_reduction_inverts_closure(self):
+        order = PartialOrder([("a", "b"), ("b", "c"), ("a", "c"), ("a", "d")])
+        reduced = order.transitive_reduction()
+        assert ("a", "c") not in reduced.edges
+        assert reduced.transitive_closure() == order.transitive_closure()
+
+
+class TestMerge:
+    def test_merge_unions_edges(self):
+        merged = PartialOrder([("a", "b")]).merge(PartialOrder([("b", "c")]))
+        assert merged.edges == {("a", "b"), ("b", "c")}
+
+    def test_merge_can_create_cycle(self):
+        merged = PartialOrder([("a", "b")]).merge(PartialOrder([("b", "a")]))
+        assert not merged.is_acyclic()
+
+
+class TestConsistency:
+    def test_consistent_ranking(self):
+        order = PartialOrder([("c", "a")])
+        assert order.is_consistent(Ranking(["b", "c", "a"]))
+        assert not order.is_consistent(Ranking(["a", "b", "c"]))
+
+
+class TestLinearExtensions:
+    def test_chain_has_one_extension(self):
+        order = PartialOrder.from_chain(["x", "y", "z"])
+        assert list(order.linear_extensions()) == [("x", "y", "z")]
+
+    def test_antichain_has_factorial_extensions(self):
+        order = PartialOrder(items=["a", "b", "c"])
+        assert len(list(order.linear_extensions())) == 6
+
+    def test_v_shape(self):
+        # {a > c, b > c}: extensions <a,b,c> and <b,a,c> (paper Section 5.2).
+        order = PartialOrder([("a", "c"), ("b", "c")])
+        assert sorted(order.linear_extensions()) == [
+            ("a", "b", "c"),
+            ("b", "a", "c"),
+        ]
+
+    def test_extensions_are_consistent(self):
+        order = PartialOrder([("a", "b"), ("c", "d"), ("a", "d")])
+        for extension in order.linear_extensions():
+            assert order.is_consistent(Ranking(extension))
+
+    def test_cyclic_has_no_extensions(self):
+        order = PartialOrder([("a", "b"), ("b", "a")])
+        with pytest.raises(CyclicOrderError):
+            list(order.linear_extensions())
+
+    def test_count_with_limit(self):
+        order = PartialOrder(items=list(range(4)))
+        assert order.count_linear_extensions(limit=5) == 5
+        assert order.count_linear_extensions() == 24
+
+    def test_consistent_subrankings_wrapper(self):
+        order = PartialOrder([("a", "c"), ("b", "c")])
+        subs = list(consistent_subrankings(order))
+        assert SubRanking(("a", "b", "c")) in subs
+        assert len(subs) == 2
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 4), st.integers(0, 4)).filter(
+            lambda e: e[0] != e[1]
+        ),
+        max_size=6,
+    )
+)
+def test_extension_count_matches_enumeration(edges):
+    order = PartialOrder(edges)
+    if not order.is_acyclic():
+        return
+    items = sorted(order.items, key=repr)
+    if len(items) > 5:
+        return
+    brute = sum(
+        1
+        for tau in Ranking.all_rankings(items)
+        if order.is_consistent(tau)
+    )
+    assert len(list(order.linear_extensions())) == brute

@@ -1,0 +1,147 @@
+"""Unit tests for the Ranking substrate."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.rankings.permutation import Ranking
+
+
+class TestConstruction:
+    def test_basic(self):
+        tau = Ranking(["a", "b", "c"])
+        assert len(tau) == 3
+        assert list(tau) == ["a", "b", "c"]
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Ranking(["a", "a"])
+
+    def test_empty(self):
+        tau = Ranking([])
+        assert len(tau) == 0
+
+    def test_identity(self):
+        tau = Ranking.identity(4)
+        assert tau.items == (0, 1, 2, 3)
+
+
+class TestAccessors:
+    def test_item_at_is_one_based(self):
+        tau = Ranking(["x", "y"])
+        assert tau.item_at(1) == "x"
+        assert tau.item_at(2) == "y"
+
+    def test_item_at_out_of_range(self):
+        tau = Ranking(["x"])
+        with pytest.raises(IndexError):
+            tau.item_at(0)
+        with pytest.raises(IndexError):
+            tau.item_at(2)
+
+    def test_rank_of(self):
+        tau = Ranking(["x", "y", "z"])
+        assert tau.rank_of("z") == 3
+
+    def test_rank_of_missing(self):
+        with pytest.raises(KeyError):
+            Ranking(["x"]).rank_of("q")
+
+    def test_contains(self):
+        tau = Ranking(["x"])
+        assert "x" in tau
+        assert "y" not in tau
+
+    def test_getitem_zero_based(self):
+        tau = Ranking(["x", "y"])
+        assert tau[0] == "x"
+
+
+class TestPreferences:
+    def test_prefers(self):
+        tau = Ranking(["a", "b", "c"])
+        assert tau.prefers("a", "c")
+        assert not tau.prefers("c", "a")
+
+    def test_preference_pairs_count(self):
+        tau = Ranking(range(5))
+        pairs = list(tau.preference_pairs())
+        assert len(pairs) == 10
+        assert (0, 4) in pairs
+        assert (4, 0) not in pairs
+
+
+class TestTransformations:
+    def test_insert_positions(self):
+        tau = Ranking(["a", "c"])
+        assert tau.insert("b", 2).items == ("a", "b", "c")
+        assert tau.insert("x", 1).items == ("x", "a", "c")
+        assert tau.insert("x", 3).items == ("a", "c", "x")
+
+    def test_insert_existing_rejected(self):
+        with pytest.raises(ValueError):
+            Ranking(["a"]).insert("a", 1)
+
+    def test_insert_bad_position(self):
+        with pytest.raises(IndexError):
+            Ranking(["a"]).insert("b", 3)
+
+    def test_remove(self):
+        tau = Ranking(["a", "b", "c"])
+        assert tau.remove("b").items == ("a", "c")
+
+    def test_prefix(self):
+        tau = Ranking(["a", "b", "c"])
+        assert tau.prefix(2).items == ("a", "b")
+        assert tau.prefix(0).items == ()
+
+    def test_restrict_preserves_order(self):
+        tau = Ranking(["d", "a", "c", "b"])
+        assert tau.restrict({"a", "b", "d"}) == ("d", "a", "b")
+
+    def test_restrict_unknown_item(self):
+        with pytest.raises(KeyError):
+            Ranking(["a"]).restrict({"z"})
+
+    def test_reversed(self):
+        assert Ranking([1, 2, 3]).reversed().items == (3, 2, 1)
+
+    def test_swap(self):
+        assert Ranking([1, 2, 3]).swap(1, 3).items == (3, 2, 1)
+
+
+class TestEnumeration:
+    def test_all_rankings_count(self):
+        assert len(list(Ranking.all_rankings([1, 2, 3]))) == 6
+
+    def test_all_rankings_distinct(self):
+        rankings = list(Ranking.all_rankings("abc"))
+        assert len(set(rankings)) == 6
+
+    def test_random_is_permutation(self, rng):
+        tau = Ranking.random([1, 2, 3, 4], rng)
+        assert sorted(tau.items) == [1, 2, 3, 4]
+
+
+class TestEquality:
+    def test_eq_and_hash(self):
+        assert Ranking([1, 2]) == Ranking([1, 2])
+        assert Ranking([1, 2]) != Ranking([2, 1])
+        assert hash(Ranking([1, 2])) == hash(Ranking([1, 2]))
+
+    def test_not_equal_to_other_types(self):
+        assert Ranking([1]) != (1,)
+
+
+@given(st.permutations(list(range(6))))
+def test_rank_item_roundtrip(perm):
+    tau = Ranking(perm)
+    for rank in range(1, len(perm) + 1):
+        assert tau.rank_of(tau.item_at(rank)) == rank
+
+
+@given(st.permutations(list(range(5))), st.integers(min_value=1, max_value=6))
+def test_insert_then_remove_roundtrip(perm, position):
+    tau = Ranking(perm)
+    inserted = tau.insert("new", position)
+    assert inserted.rank_of("new") == position
+    assert inserted.remove("new") == tau

@@ -1,0 +1,78 @@
+"""Tests for sub-rankings."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.rankings.permutation import Ranking
+from repro.rankings.subranking import SubRanking
+
+
+class TestBasics:
+    def test_duplicates_rejected(self):
+        with pytest.raises(ValueError):
+            SubRanking([1, 1])
+
+    def test_rank_of(self):
+        psi = SubRanking(["x", "y"])
+        assert psi.rank_of("y") == 2
+        with pytest.raises(KeyError):
+            psi.rank_of("z")
+
+    def test_item_set(self):
+        assert SubRanking([3, 1]).item_set == {1, 3}
+
+    def test_equality_is_order_sensitive(self):
+        assert SubRanking([1, 2]) != SubRanking([2, 1])
+        assert SubRanking([1, 2]) == SubRanking([1, 2])
+
+
+class TestInsert:
+    def test_insert_all_positions(self):
+        psi = SubRanking(["a", "b"])
+        assert psi.insert("x", 1).items == ("x", "a", "b")
+        assert psi.insert("x", 2).items == ("a", "x", "b")
+        assert psi.insert("x", 3).items == ("a", "b", "x")
+
+    def test_insert_bounds(self):
+        with pytest.raises(IndexError):
+            SubRanking(["a"]).insert("b", 3)
+
+    def test_insert_existing(self):
+        with pytest.raises(ValueError):
+            SubRanking(["a"]).insert("a", 1)
+
+
+class TestConsistency:
+    def test_consistent(self):
+        tau = Ranking([5, 3, 1, 2, 4])
+        assert SubRanking([5, 1, 4]).is_consistent_with(tau)
+        assert not SubRanking([4, 5]).is_consistent_with(tau)
+
+    def test_empty_is_always_consistent(self):
+        assert SubRanking([]).is_consistent_with(Ranking([1, 2]))
+
+    def test_from_ranking_projection(self):
+        tau = Ranking([5, 3, 1, 2, 4])
+        psi = SubRanking.from_ranking(tau, {1, 4, 5})
+        assert psi.items == (5, 1, 4)
+        assert psi.is_consistent_with(tau)
+
+
+class TestConversions:
+    def test_as_partial_order(self):
+        order = SubRanking(["a", "b", "c"]).as_partial_order()
+        assert ("a", "b") in order.edges
+        assert ("b", "c") in order.edges
+
+    def test_distance_to(self):
+        sigma = Ranking([1, 2, 3, 4])
+        assert SubRanking([4, 1]).distance_to(sigma) == 1
+        assert SubRanking([1, 4]).distance_to(sigma) == 0
+
+
+@given(st.permutations(list(range(6))), st.sets(st.integers(0, 5), max_size=4))
+def test_projection_always_consistent(perm, subset):
+    tau = Ranking(perm)
+    psi = SubRanking.from_ranking(tau, subset)
+    assert psi.is_consistent_with(tau)
+    assert psi.item_set == frozenset(subset)

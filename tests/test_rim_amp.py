@@ -1,0 +1,121 @@
+"""Tests for the AMP constrained sampler."""
+
+import math
+
+import pytest
+
+from repro.rankings.partial_order import CyclicOrderError, PartialOrder
+from repro.rankings.permutation import Ranking
+from repro.rankings.subranking import SubRanking
+from repro.rim.amp import AMPSampler
+from repro.rim.mallows import Mallows
+
+
+class TestConstruction:
+    def test_cyclic_constraint_rejected(self):
+        model = Mallows(["a", "b"], 0.5)
+        with pytest.raises(CyclicOrderError):
+            AMPSampler(model, PartialOrder([("a", "b"), ("b", "a")]))
+
+    def test_unknown_items_rejected(self):
+        model = Mallows(["a", "b"], 0.5)
+        with pytest.raises(ValueError, match="outside the model"):
+            AMPSampler(model, PartialOrder([("a", "z")]))
+
+    def test_accepts_subranking_and_ranking(self):
+        model = Mallows(["a", "b", "c"], 0.5)
+        AMPSampler(model, SubRanking(["c", "a"]))
+        AMPSampler(model, Ranking(["c", "b", "a"]))
+
+
+class TestSampling:
+    def test_samples_respect_constraint(self, rng):
+        model = Mallows(list(range(6)), 0.7)
+        constraint = PartialOrder([(5, 0), (3, 1)])
+        sampler = AMPSampler(model, constraint)
+        for _ in range(200):
+            tau = sampler.sample(rng)
+            assert constraint.is_consistent(tau)
+
+    def test_unconstrained_amp_equals_rim(self, rng):
+        # With an empty constraint AMP is exactly the underlying RIM.
+        model = Mallows(list(range(4)), 0.4)
+        sampler = AMPSampler(model, PartialOrder())
+        for tau in Ranking.all_rankings(range(4)):
+            assert sampler.probability(tau) == pytest.approx(
+                model.probability(tau)
+            )
+
+    def test_transitive_constraints_used(self, rng):
+        # a > b > c implies a > c even without the explicit edge.
+        model = Mallows(["a", "b", "c"], 1.0)
+        sampler = AMPSampler(model, PartialOrder([("c", "b"), ("b", "a")]))
+        for _ in range(100):
+            tau = sampler.sample(rng)
+            assert tau.prefers("c", "a")
+
+
+class TestProposalDensity:
+    def test_example_2_2(self):
+        # Paper Example 2.2: AMP(<a,b,c>, phi, {c > a}) generates <b, c, a>
+        # with probability (phi / (1 + phi)) * (phi / (phi + phi^2)).
+        phi = 0.5
+        model = Mallows(["a", "b", "c"], phi)
+        sampler = AMPSampler(model, PartialOrder([("c", "a")]))
+        expected = (phi / (1 + phi)) * (phi / (phi + phi**2))
+        assert sampler.probability(Ranking(["b", "c", "a"])) == pytest.approx(
+            expected
+        )
+
+    def test_density_normalizes_over_consistent_rankings(self):
+        model = Mallows(list(range(5)), 0.35)
+        constraint = PartialOrder([(4, 0), (2, 1)])
+        sampler = AMPSampler(model, constraint)
+        total = sum(
+            sampler.probability(tau)
+            for tau in Ranking.all_rankings(range(5))
+        )
+        assert total == pytest.approx(1.0)
+
+    def test_zero_density_on_violating_rankings(self):
+        model = Mallows(["a", "b"], 0.5)
+        sampler = AMPSampler(model, PartialOrder([("b", "a")]))
+        assert sampler.probability(Ranking(["a", "b"])) == 0.0
+        assert sampler.log_probability(Ranking(["a", "b"])) == -math.inf
+
+    def test_density_matches_empirical(self, rng):
+        model = Mallows(list(range(4)), 0.5)
+        sampler = AMPSampler(model, SubRanking([3, 0]))
+        n = 20_000
+        counts: dict = {}
+        for _ in range(n):
+            tau = sampler.sample(rng)
+            counts[tau] = counts.get(tau, 0) + 1
+        for tau, count in counts.items():
+            p = sampler.probability(tau)
+            sigma = math.sqrt(p * (1 - p) / n)
+            assert abs(count / n - p) < 4 * sigma + 2e-3
+
+
+class TestPosteriorBias:
+    def test_amp_is_biased_in_general(self):
+        # AMP approximates the conditional distribution; Example 5.1 of the
+        # paper relies on the discrepancy being bounded but non-zero.  Here
+        # we check AMP's density differs from the true posterior for some
+        # ranking, while both are supported on the same set.
+        model = Mallows(list(range(4)), 0.3)
+        psi = SubRanking([3, 1, 0])
+        sampler = AMPSampler(model, psi)
+        consistent = [
+            tau
+            for tau in Ranking.all_rankings(range(4))
+            if psi.is_consistent_with(tau)
+        ]
+        mass = sum(model.probability(tau) for tau in consistent)
+        posterior = {tau: model.probability(tau) / mass for tau in consistent}
+        deviations = [
+            abs(sampler.probability(tau) - posterior[tau])
+            for tau in consistent
+        ]
+        assert all(sampler.probability(tau) > 0 for tau in consistent)
+        assert max(deviations) > 1e-6

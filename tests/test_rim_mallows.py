@@ -1,0 +1,156 @@
+"""Tests for the Mallows model: closed form vs RIM trajectory semantics."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.rankings.kendall import kendall_tau
+from repro.rankings.permutation import Ranking
+from repro.rim.mallows import (
+    Mallows,
+    mallows_insertion_matrix,
+    mallows_normalization,
+)
+from repro.rim.model import RIM
+
+
+class TestInsertionMatrix:
+    def test_rows_are_stochastic(self):
+        pi = mallows_insertion_matrix(6, 0.4)
+        for i in range(1, 7):
+            assert pi[i - 1, :i].sum() == pytest.approx(1.0)
+
+    def test_phi_one_is_uniform(self):
+        pi = mallows_insertion_matrix(4, 1.0)
+        for i in range(1, 5):
+            assert pi[i - 1, :i] == pytest.approx([1 / i] * i)
+
+    def test_phi_zero_is_degenerate(self):
+        pi = mallows_insertion_matrix(4, 0.0)
+        for i in range(1, 5):
+            assert pi[i - 1, i - 1] == 1.0
+            assert pi[i - 1, : i - 1].sum() == 0.0
+
+    def test_formula_matches_paper(self):
+        # Pi(i, j) = phi^{i-j} / (1 + phi + ... + phi^{i-1})
+        phi = 0.3
+        pi = mallows_insertion_matrix(5, phi)
+        for i in range(1, 6):
+            denom = sum(phi**k for k in range(i))
+            for j in range(1, i + 1):
+                assert pi[i - 1, j - 1] == pytest.approx(
+                    phi ** (i - j) / denom
+                )
+
+    def test_invalid_phi_rejected(self):
+        with pytest.raises(ValueError):
+            mallows_insertion_matrix(3, 1.5)
+        with pytest.raises(ValueError):
+            mallows_insertion_matrix(3, -0.1)
+
+
+class TestNormalization:
+    def test_uniform_normalization_is_factorial(self):
+        assert mallows_normalization(5, 1.0) == pytest.approx(120.0)
+
+    def test_matches_exhaustive_sum(self):
+        phi = 0.6
+        sigma = Ranking(range(5))
+        z = sum(
+            phi ** kendall_tau(sigma, tau)
+            for tau in Ranking.all_rankings(range(5))
+        )
+        assert mallows_normalization(5, phi) == pytest.approx(z)
+
+
+class TestDensity:
+    def test_kendall_form_matches_rim_trajectory_form(self):
+        # The same distribution computed two ways: phi^d / Z versus the
+        # product of insertion probabilities (Doignon et al.).
+        model = Mallows(list(range(5)), 0.45)
+        rim = RIM(model.sigma, model.pi)
+        for tau in Ranking.all_rankings(range(5)):
+            assert model.probability(tau) == pytest.approx(
+                rim.probability(tau)
+            )
+
+    def test_center_is_mode(self):
+        model = Mallows(list(range(5)), 0.3)
+        center_p = model.probability(model.sigma)
+        for tau in Ranking.all_rankings(range(5)):
+            assert model.probability(tau) <= center_p + 1e-12
+
+    def test_density_sums_to_one(self):
+        model = Mallows(list(range(5)), 0.8)
+        total = sum(
+            model.probability(tau) for tau in Ranking.all_rankings(range(5))
+        )
+        assert total == pytest.approx(1.0)
+
+    def test_phi_zero_point_mass(self):
+        model = Mallows(["a", "b", "c"], 0.0)
+        assert model.probability(model.sigma) == 1.0
+        assert model.probability(Ranking(["b", "a", "c"])) == 0.0
+        assert model.log_probability(Ranking(["b", "a", "c"])) == -math.inf
+
+    def test_probability_of_distance(self):
+        model = Mallows(list(range(4)), 0.5)
+        tau = Ranking([1, 0, 2, 3])
+        assert model.probability(tau) == pytest.approx(
+            model.probability_of_distance(1)
+        )
+
+    def test_quickstart_value(self):
+        model = Mallows(["a", "b", "c"], 0.5)
+        # Z = 1 * (1 + .5) * (1 + .5 + .25) = 2.625; center has phi^0.
+        assert model.probability(Ranking(["a", "b", "c"])) == pytest.approx(
+            1 / 2.625
+        )
+
+
+class TestRecenter:
+    def test_recenter_keeps_phi(self):
+        model = Mallows(list(range(4)), 0.25)
+        moved = model.recenter(Ranking([3, 2, 1, 0]))
+        assert moved.phi == 0.25
+        assert moved.sigma == Ranking([3, 2, 1, 0])
+
+    def test_uniform_classmethod(self):
+        model = Mallows.uniform(list(range(4)))
+        assert model.phi == 1.0
+        for tau in Ranking.all_rankings(range(4)):
+            assert model.probability(tau) == pytest.approx(1 / 24)
+
+
+class TestSampling:
+    def test_distance_distribution(self, rng):
+        # Empirical frequency of each Kendall distance matches phi^d * N(d) / Z.
+        model = Mallows(list(range(4)), 0.5)
+        by_distance: dict[int, float] = {}
+        for tau in Ranking.all_rankings(range(4)):
+            d = model.distance(tau)
+            by_distance[d] = by_distance.get(d, 0.0) + model.probability(tau)
+        n = 20_000
+        observed: dict[int, int] = {}
+        for _ in range(n):
+            d = model.distance(model.sample(rng))
+            observed[d] = observed.get(d, 0) + 1
+        for d, p in by_distance.items():
+            freq = observed.get(d, 0) / n
+            sigma = math.sqrt(p * (1 - p) / n)
+            assert abs(freq - p) < 4 * sigma + 1e-3
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.floats(min_value=0.05, max_value=1.0),
+    st.permutations(list(range(5))),
+)
+def test_density_is_monotone_in_distance(phi, perm):
+    model = Mallows(list(range(5)), phi)
+    tau = Ranking(perm)
+    d = model.distance(tau)
+    assert model.probability(tau) == pytest.approx(
+        phi**d / model.normalization
+    )

@@ -1,0 +1,98 @@
+"""Tests for the RIM marginal convenience functions."""
+
+import pytest
+
+from repro.rankings.permutation import Ranking
+from repro.rim.mallows import Mallows
+from repro.rim.marginals import (
+    expected_rank,
+    pairwise_marginal,
+    pairwise_marginal_matrix,
+    rank_distribution,
+)
+
+
+@pytest.fixture
+def model():
+    return Mallows(list("abcde"), 0.4)
+
+
+def brute_pairwise(model, a, b) -> float:
+    return sum(
+        p
+        for tau, p in model.enumerate_support()
+        if tau.prefers(a, b)
+    )
+
+
+def brute_rank_distribution(model, item):
+    m = model.m
+    distribution = [0.0] * m
+    for tau, p in model.enumerate_support():
+        distribution[tau.rank_of(item) - 1] += p
+    return distribution
+
+
+class TestPairwiseMarginal:
+    def test_matches_brute_force(self, model):
+        for a, b in [("a", "b"), ("a", "e"), ("d", "c")]:
+            assert pairwise_marginal(model, a, b) == pytest.approx(
+                brute_pairwise(model, a, b)
+            )
+
+    def test_complement(self, model):
+        p = pairwise_marginal(model, "b", "d")
+        q = pairwise_marginal(model, "d", "b")
+        assert p + q == pytest.approx(1.0)
+
+    def test_uniform_is_half(self):
+        model = Mallows(list("abc"), 1.0)
+        assert pairwise_marginal(model, "a", "c") == pytest.approx(0.5)
+
+    def test_degenerate_model(self):
+        model = Mallows(list("abc"), 0.0)
+        assert pairwise_marginal(model, "a", "c") == pytest.approx(1.0)
+        assert pairwise_marginal(model, "c", "a") == pytest.approx(0.0)
+
+    def test_validation(self, model):
+        with pytest.raises(ValueError):
+            pairwise_marginal(model, "a", "a")
+        with pytest.raises(KeyError):
+            pairwise_marginal(model, "a", "z")
+
+    def test_matrix_is_consistent(self, model):
+        matrix = pairwise_marginal_matrix(model)
+        assert len(matrix) == 20  # 5 * 4 ordered pairs
+        for (a, b), p in matrix.items():
+            assert matrix[(b, a)] == pytest.approx(1.0 - p)
+
+
+class TestRankDistribution:
+    def test_matches_brute_force(self, model):
+        for item in "ace":
+            exact = rank_distribution(model, item)
+            brute = brute_rank_distribution(model, item)
+            assert exact == pytest.approx(brute, abs=1e-9)
+
+    def test_sums_to_one(self, model):
+        assert sum(rank_distribution(model, "b")) == pytest.approx(1.0)
+
+    def test_sampled_close_to_exact(self, model, rng):
+        exact = rank_distribution(model, "c")
+        sampled = rank_distribution(model, "c", n_samples=20_000, rng=rng)
+        for e, s in zip(exact, sampled):
+            assert s == pytest.approx(e, abs=0.02)
+
+    def test_sampling_requires_rng(self, model):
+        with pytest.raises(ValueError):
+            rank_distribution(model, "c", n_samples=10)
+
+    def test_expected_rank(self, model):
+        brute = sum(
+            p * tau.rank_of("a") for tau, p in model.enumerate_support()
+        )
+        assert expected_rank(model, "a") == pytest.approx(brute)
+
+    def test_unknown_item(self, model):
+        with pytest.raises(KeyError):
+            rank_distribution(model, "z")

@@ -1,0 +1,152 @@
+"""Unit and property tests for the RIM generative model."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.rankings.permutation import Ranking
+from repro.rim.model import RIM
+
+
+def geometric_rim(m: int, phi: float = 0.5) -> RIM:
+    """A hand-built RIM with Mallows-style insertion rows."""
+    pi = np.zeros((m, m))
+    for i in range(1, m + 1):
+        weights = np.array([phi ** (i - j) for j in range(1, i + 1)])
+        pi[i - 1, :i] = weights / weights.sum()
+    return RIM(list(range(m)), pi)
+
+
+class TestConstruction:
+    def test_row_sums_validated(self):
+        pi = np.zeros((2, 2))
+        pi[0, 0] = 1.0
+        pi[1, :] = [0.6, 0.3]  # sums to 0.9
+        with pytest.raises(ValueError, match="sums to"):
+            RIM([0, 1], pi)
+
+    def test_negative_probability_rejected(self):
+        pi = np.zeros((2, 2))
+        pi[0, 0] = 1.0
+        pi[1, :] = [1.5, -0.5]
+        with pytest.raises(ValueError, match="negative"):
+            RIM([0, 1], pi)
+
+    def test_mass_beyond_triangle_rejected(self):
+        pi = np.zeros((2, 2))
+        pi[0, :] = [1.0, 0.1]  # row 1 may only use position 1
+        pi[1, :] = [0.5, 0.5]
+        with pytest.raises(ValueError, match="beyond"):
+            RIM([0, 1], pi)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="shape"):
+            RIM([0, 1, 2], np.eye(2))
+
+    def test_pi_is_read_only(self):
+        model = RIM.uniform([0, 1, 2])
+        with pytest.raises(ValueError):
+            model.pi[0, 0] = 0.5
+
+
+class TestInsertionTrajectories:
+    def test_example_2_1(self):
+        # Paper Example 2.1: tau' = <b, c, a> from sigma = <a, b, c> has
+        # trajectory (1, 1, 2).
+        model = RIM.uniform(["a", "b", "c"])
+        assert model.insertion_positions(Ranking(["b", "c", "a"])) == [1, 1, 2]
+
+    def test_reference_trajectory_is_identity(self):
+        model = RIM.uniform(list(range(5)))
+        assert model.insertion_positions(model.sigma) == [1, 2, 3, 4, 5]
+
+    def test_wrong_item_set_rejected(self):
+        model = RIM.uniform([0, 1])
+        with pytest.raises(ValueError):
+            model.insertion_positions(Ranking([0, 2]))
+
+    def test_trajectory_uniqueness(self):
+        # Distinct rankings have distinct trajectories.
+        model = RIM.uniform(list(range(4)))
+        seen = set()
+        for tau in Ranking.all_rankings(range(4)):
+            trajectory = tuple(model.insertion_positions(tau))
+            assert trajectory not in seen
+            seen.add(trajectory)
+
+
+class TestProbabilities:
+    def test_uniform_probability(self):
+        model = RIM.uniform(list(range(4)))
+        for tau in Ranking.all_rankings(range(4)):
+            assert model.probability(tau) == pytest.approx(1 / 24)
+
+    def test_probabilities_sum_to_one(self):
+        model = geometric_rim(5, 0.3)
+        total = sum(
+            model.probability(tau) for tau in Ranking.all_rankings(range(5))
+        )
+        assert total == pytest.approx(1.0)
+
+    def test_log_probability_consistent(self):
+        model = geometric_rim(4, 0.7)
+        for tau in Ranking.all_rankings(range(4)):
+            assert math.exp(model.log_probability(tau)) == pytest.approx(
+                model.probability(tau)
+            )
+
+    def test_probability_from_trajectory_product(self):
+        model = geometric_rim(4, 0.5)
+        tau = Ranking([2, 0, 3, 1])
+        expected = 1.0
+        for i, j in enumerate(model.insertion_positions(tau), start=1):
+            expected *= model.insertion_probability(i, j)
+        assert model.probability(tau) == pytest.approx(expected)
+
+
+class TestEnumeration:
+    def test_support_covers_all_rankings(self):
+        model = geometric_rim(4, 0.4)
+        support = dict(model.enumerate_support())
+        assert len(support) == 24
+        assert sum(support.values()) == pytest.approx(1.0)
+
+    def test_support_matches_pointwise_probability(self):
+        model = geometric_rim(4, 0.4)
+        for tau, p in model.enumerate_support():
+            assert p == pytest.approx(model.probability(tau))
+
+    def test_guard_on_large_m(self):
+        model = RIM.uniform(list(range(12)))
+        with pytest.raises(ValueError, match="refusing"):
+            list(model.enumerate_support())
+
+
+class TestSampling:
+    def test_samples_are_permutations(self, rng):
+        model = geometric_rim(6, 0.5)
+        for tau in model.sample_many(20, rng):
+            assert sorted(tau.items) == list(range(6))
+
+    def test_empirical_matches_exact(self, rng):
+        model = geometric_rim(4, 0.3)
+        counts: dict = {}
+        n = 30_000
+        for _ in range(n):
+            tau = model.sample(rng)
+            counts[tau] = counts.get(tau, 0) + 1
+        for tau, p in model.enumerate_support():
+            observed = counts.get(tau, 0) / n
+            # Generous tolerance: 4 sigma of the binomial.
+            sigma = math.sqrt(p * (1 - p) / n)
+            assert abs(observed - p) < 4 * sigma + 1e-3
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.floats(min_value=0.05, max_value=1.0), st.integers(3, 6))
+def test_random_geometric_rims_normalize(phi, m):
+    model = geometric_rim(m, phi)
+    total = sum(model.probability(t) for t in Ranking.all_rankings(range(m)))
+    assert total == pytest.approx(1.0)

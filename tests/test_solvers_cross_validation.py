@@ -1,0 +1,122 @@
+"""The correctness anchor: every exact solver agrees with brute force.
+
+Random (model, labeling, union) instances are drawn and all applicable
+solvers must produce the same marginal probability as exhaustive
+enumeration of the m! rankings (Equation 2 of the paper).
+"""
+
+import pytest
+
+from repro.solvers.bipartite import bipartite_probability
+from repro.solvers.brute import brute_force_probability
+from repro.solvers.general import general_probability
+from repro.solvers.lifted import lifted_probability
+from repro.solvers.two_label import two_label_probability
+from tests.conftest import (
+    random_bipartite_instance,
+    random_instance,
+    random_two_label_instance,
+)
+
+TOLERANCE = 1e-9
+
+
+class TestGeneralInstances:
+    def test_lifted_matches_brute(self, pyrng):
+        for _ in range(50):
+            model, labeling, union = random_instance(pyrng)
+            expected = brute_force_probability(model, labeling, union).probability
+            actual = lifted_probability(model, labeling, union).probability
+            assert actual == pytest.approx(expected, abs=TOLERANCE)
+
+    def test_general_matches_brute(self, pyrng):
+        for _ in range(30):
+            model, labeling, union = random_instance(pyrng)
+            expected = brute_force_probability(model, labeling, union).probability
+            actual = general_probability(model, labeling, union).probability
+            assert actual == pytest.approx(expected, abs=TOLERANCE)
+
+    def test_lifted_ablations_match(self, pyrng):
+        for _ in range(25):
+            model, labeling, union = random_instance(pyrng, m_choices=(4, 5))
+            reference = lifted_probability(model, labeling, union).probability
+            no_merge = lifted_probability(
+                model, labeling, union, merge_gaps=False
+            ).probability
+            no_prune = lifted_probability(
+                model, labeling, union, prune_dead=False
+            ).probability
+            assert no_merge == pytest.approx(reference, abs=TOLERANCE)
+            assert no_prune == pytest.approx(reference, abs=TOLERANCE)
+
+
+class TestTwoLabelInstances:
+    def test_two_label_matches_brute(self, pyrng):
+        for _ in range(60):
+            model, labeling, union = random_two_label_instance(pyrng)
+            expected = brute_force_probability(model, labeling, union).probability
+            actual = two_label_probability(model, labeling, union).probability
+            assert actual == pytest.approx(expected, abs=TOLERANCE)
+
+    def test_two_label_no_gap_merge_matches(self, pyrng):
+        for _ in range(20):
+            model, labeling, union = random_two_label_instance(pyrng)
+            merged = two_label_probability(model, labeling, union).probability
+            plain = two_label_probability(
+                model, labeling, union, merge_gaps=False
+            ).probability
+            assert plain == pytest.approx(merged, abs=TOLERANCE)
+
+    def test_bipartite_handles_two_label(self, pyrng):
+        # Two-label unions are a special case of bipartite unions.
+        for _ in range(30):
+            model, labeling, union = random_two_label_instance(pyrng)
+            expected = brute_force_probability(model, labeling, union).probability
+            actual = bipartite_probability(model, labeling, union).probability
+            assert actual == pytest.approx(expected, abs=TOLERANCE)
+
+
+class TestBipartiteInstances:
+    def test_pruned_matches_brute(self, pyrng):
+        for _ in range(50):
+            model, labeling, union = random_bipartite_instance(pyrng)
+            expected = brute_force_probability(model, labeling, union).probability
+            actual = bipartite_probability(model, labeling, union).probability
+            assert actual == pytest.approx(expected, abs=TOLERANCE)
+
+    def test_basic_matches_brute(self, pyrng):
+        for _ in range(30):
+            model, labeling, union = random_bipartite_instance(pyrng)
+            expected = brute_force_probability(model, labeling, union).probability
+            actual = bipartite_probability(
+                model, labeling, union, pruned=False
+            ).probability
+            assert actual == pytest.approx(expected, abs=TOLERANCE)
+
+    def test_lifted_matches_bipartite(self, pyrng):
+        for _ in range(25):
+            model, labeling, union = random_bipartite_instance(pyrng)
+            a = bipartite_probability(model, labeling, union).probability
+            b = lifted_probability(model, labeling, union).probability
+            assert a == pytest.approx(b, abs=TOLERANCE)
+
+
+class TestGeneralRIMs:
+    def test_solvers_agree_on_non_mallows_rim(self, pyrng, rng):
+        # The solvers work for arbitrary RIMs, not just Mallows: draw random
+        # stochastic insertion matrices.
+        import numpy as np
+
+        from repro.rim.model import RIM
+
+        for _ in range(20):
+            m = pyrng.choice([4, 5])
+            pi = np.zeros((m, m))
+            for i in range(1, m + 1):
+                row = rng.dirichlet(np.ones(i))
+                pi[i - 1, :i] = row
+            model = RIM(list(range(m)), pi)
+            _, labeling, union = random_instance(pyrng, m_choices=(m,))
+            expected = brute_force_probability(model, labeling, union).probability
+            actual = lifted_probability(model, labeling, union).probability
+            assert actual == pytest.approx(expected, abs=TOLERANCE)

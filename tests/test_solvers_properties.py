@@ -1,0 +1,152 @@
+"""Hypothesis property tests on the solver layer's core invariants."""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.patterns.labels import Labeling
+from repro.patterns.pattern import LabelPattern, PatternNode
+from repro.patterns.union import PatternUnion
+from repro.rim.mallows import Mallows
+from repro.solvers.brute import brute_force_probability
+from repro.solvers.dispatch import solve
+from repro.solvers.general import general_probability
+from repro.solvers.lifted import lifted_probability
+from repro.solvers.upper_bound import upper_bound_probability
+
+LABELS = ("A", "B", "C")
+
+
+@st.composite
+def instances(draw, max_m: int = 5, max_patterns: int = 2):
+    """A random (model, labeling, union) triple."""
+    m = draw(st.integers(3, max_m))
+    phi = draw(st.sampled_from([0.1, 0.5, 1.0]))
+    model = Mallows(list(range(m)), phi)
+    labeling = Labeling(
+        {
+            item: draw(
+                st.sets(st.sampled_from(LABELS), max_size=2)
+            )
+            for item in range(m)
+        }
+    )
+    patterns = []
+    n_patterns = draw(st.integers(1, max_patterns))
+    for p in range(n_patterns):
+        q = draw(st.integers(2, 3))
+        nodes = [
+            PatternNode(
+                f"n{p}_{k}",
+                frozenset(
+                    draw(
+                        st.sets(
+                            st.sampled_from(LABELS), min_size=1, max_size=2
+                        )
+                    )
+                ),
+            )
+            for k in range(q)
+        ]
+        edges = [
+            (nodes[a], nodes[b])
+            for a in range(q)
+            for b in range(a + 1, q)
+            if draw(st.booleans())
+        ]
+        if not edges:
+            edges = [(nodes[0], nodes[1])]
+        patterns.append(LabelPattern(edges, nodes=nodes))
+    return model, labeling, PatternUnion(patterns)
+
+
+COMMON_SETTINGS = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@COMMON_SETTINGS
+@given(instances())
+def test_probability_in_unit_interval(instance):
+    model, labeling, union = instance
+    result = lifted_probability(model, labeling, union)
+    assert 0.0 <= result.probability <= 1.0
+
+
+@COMMON_SETTINGS
+@given(instances())
+def test_lifted_equals_brute(instance):
+    model, labeling, union = instance
+    expected = brute_force_probability(model, labeling, union).probability
+    assert lifted_probability(model, labeling, union).probability == (
+        pytest.approx(expected, abs=1e-9)
+    )
+
+
+@COMMON_SETTINGS
+@given(instances())
+def test_inclusion_exclusion_equals_direct(instance):
+    model, labeling, union = instance
+    direct = lifted_probability(model, labeling, union).probability
+    via_ie = general_probability(model, labeling, union).probability
+    assert via_ie == pytest.approx(direct, abs=1e-9)
+
+
+@COMMON_SETTINGS
+@given(instances())
+def test_union_is_monotone(instance):
+    # Adding a pattern to the union can only increase the probability.
+    model, labeling, union = instance
+    if union.z < 2:
+        return
+    sub_union = union.restrict(range(union.z - 1))
+    smaller = lifted_probability(model, labeling, sub_union).probability
+    larger = lifted_probability(model, labeling, union).probability
+    assert larger >= smaller - 1e-9
+
+
+@COMMON_SETTINGS
+@given(instances())
+def test_upper_bound_dominates(instance):
+    model, labeling, union = instance
+    exact = lifted_probability(model, labeling, union).probability
+    for n_edges in (1, 2):
+        bound = upper_bound_probability(
+            model, labeling, union, n_edges=n_edges
+        ).probability
+        assert bound >= exact - 1e-9
+
+
+@COMMON_SETTINGS
+@given(instances(), st.sampled_from(["auto", "lifted", "general"]))
+def test_dispatch_methods_agree(instance, method):
+    model, labeling, union = instance
+    expected = brute_force_probability(model, labeling, union).probability
+    actual = solve(model, labeling, union, method=method).probability
+    assert actual == pytest.approx(expected, abs=1e-9)
+
+
+@COMMON_SETTINGS
+@given(instances())
+def test_uniform_model_counts_rankings(instance):
+    # Under phi = 1 the probability equals the fraction of satisfying
+    # rankings: a counting cross-check independent of the RIM machinery.
+    from repro.patterns.matching import matches_union
+    from repro.rankings.permutation import Ranking
+
+    model, labeling, union = instance
+    uniform = Mallows(list(model.items), 1.0)
+    count = sum(
+        1
+        for tau in Ranking.all_rankings(model.items)
+        if matches_union(tau, union, labeling)
+    )
+    total = 1
+    for k in range(2, model.m + 1):
+        total *= k
+    expected = count / total
+    actual = lifted_probability(uniform, labeling, union).probability
+    assert actual == pytest.approx(expected, abs=1e-9)

@@ -1,0 +1,109 @@
+"""Tests for the ease-heuristic upper bounds (Sections 3.2 / 4.3.2)."""
+
+import math
+
+import pytest
+
+from repro.patterns.labels import Labeling
+from repro.patterns.pattern import LabelPattern, node
+from repro.patterns.union import PatternUnion
+from repro.rankings.permutation import Ranking
+from repro.rim.mallows import Mallows
+from repro.solvers.brute import brute_force_probability
+from repro.solvers.upper_bound import (
+    ease,
+    upper_bound_probability,
+    upper_bound_union,
+)
+from tests.conftest import random_instance
+
+
+class TestEase:
+    def test_definition(self):
+        # ease(l, r | sigma) = beta(r | sigma) - alpha(l | sigma)
+        sigma = Ranking(["a", "b", "c", "d"])
+        labeling = Labeling({"a": {"L"}, "c": {"L"}, "b": {"R"}, "d": {"R"}})
+        value = ease(node("u", "L"), node("v", "R"), sigma, labeling)
+        assert value == 4 - 1  # beta(R)=4 (item d), alpha(L)=1 (item a)
+
+    def test_unserved_label_is_hardest(self):
+        sigma = Ranking(["a"])
+        labeling = Labeling({"a": {"L"}})
+        assert ease(node("u", "L"), node("v", "Z"), sigma, labeling) == -math.inf
+
+
+class TestRelaxedUnion:
+    def test_one_edge_yields_two_label(self):
+        chain = LabelPattern(
+            [(node("a", "A"), node("b", "B")), (node("b", "B"), node("c", "C"))]
+        )
+        sigma = Ranking([0, 1, 2])
+        labeling = Labeling({0: {"A"}, 1: {"B"}, 2: {"C"}})
+        relaxed = upper_bound_union(chain, sigma, labeling, n_edges=1)
+        assert relaxed.is_two_label()
+
+    def test_multi_edge_yields_bipartite(self):
+        chain = LabelPattern(
+            [(node("a", "A"), node("b", "B")), (node("b", "B"), node("c", "C"))]
+        )
+        sigma = Ranking([0, 1, 2])
+        labeling = Labeling({0: {"A"}, 1: {"B"}, 2: {"C"}})
+        relaxed = upper_bound_union(chain, sigma, labeling, n_edges=2)
+        assert relaxed.is_bipartite()
+        # A middle node of the chain appears in both roles, split into
+        # L- and R-copies.
+        names = {n.name for p in relaxed for n in p.nodes}
+        assert any(name.endswith("^L") for name in names)
+        assert any(name.endswith("^R") for name in names)
+
+    def test_invalid_n_edges(self):
+        with pytest.raises(ValueError):
+            upper_bound_union(
+                LabelPattern([(node("a", "A"), node("b", "B"))]),
+                Ranking([0]),
+                Labeling({0: {"A"}}),
+                n_edges=0,
+            )
+
+
+class TestDominance:
+    def test_upper_bound_dominates_exact(self, pyrng):
+        # The central invariant: Pr(G') >= Pr(G) for every instance and
+        # every number of selected edges.
+        for _ in range(40):
+            model, labeling, union = random_instance(pyrng, m_choices=(4, 5))
+            exact = brute_force_probability(model, labeling, union).probability
+            for n_edges in (1, 2):
+                bound = upper_bound_probability(
+                    model, labeling, union, n_edges=n_edges
+                ).probability
+                assert bound >= exact - 1e-9
+
+    def test_more_edges_tighter(self, pyrng):
+        # More selected constraints can only lower (tighten) the bound.
+        for _ in range(25):
+            model, labeling, union = random_instance(pyrng, m_choices=(4, 5))
+            one = upper_bound_probability(model, labeling, union, n_edges=1)
+            two = upper_bound_probability(model, labeling, union, n_edges=2)
+            assert two.probability <= one.probability + 1e-9
+
+    def test_example_4_4_gap(self):
+        # The paper's Example 4.4: a ranking can satisfy the Min/Max
+        # constraints of a chain without satisfying the chain, so the bound
+        # can be strictly larger than the exact probability.
+        labeling = Labeling(
+            {"a": {"la"}, "b1": {"lb"}, "b2": {"lb"}, "c": {"lc"}}
+        )
+        chain = LabelPattern(
+            [
+                (node("na", "la"), node("nb", "lb")),
+                (node("nb", "lb"), node("nc", "lc")),
+            ]
+        )
+        model = Mallows(["b1", "a", "c", "b2"], 0.0)  # point mass
+        exact = brute_force_probability(model, labeling, chain).probability
+        bound = upper_bound_probability(
+            model, labeling, PatternUnion([chain]), n_edges=3
+        ).probability
+        assert exact == 0.0
+        assert bound == 1.0
