@@ -35,6 +35,8 @@ from repro.patterns import (
 )
 from repro.rankings import PartialOrder, Ranking, SubRanking, kendall_tau
 from repro.rim import RIM, AMPSampler, Mallows, MallowsMixture
+from repro.service import SolverCache
+from repro.service.service import BatchResult, PreferenceService
 from repro.solvers import (
     SolverResult,
     bipartite_probability,
@@ -66,6 +68,9 @@ __all__ = [
     "matches",
     "matches_union",
     "SolverResult",
+    "SolverCache",
+    "PreferenceService",
+    "BatchResult",
     "solve",
     "exact_probability",
     "brute_force_probability",

@@ -6,9 +6,13 @@ Usage::
     python -m repro figure 5             # run Figure 5 at default scale
     python -m repro figure 10a --fast    # quick, smaller parameters
     python -m repro demo                 # the quickstart walkthrough
+    python -m repro batch                # batch serving + solver cache demo
 
 Each figure command prints the same rows/series the paper's figure reports
-(see EXPERIMENTS.md for the paper-vs-measured record).
+(see EXPERIMENTS.md for the paper-vs-measured record).  The ``batch``
+command runs a repeated CrowdRank-style workload through the
+:class:`~repro.service.service.PreferenceService`, showing the cross-query
+solver cache warming up pass over pass.
 """
 
 from __future__ import annotations
@@ -74,6 +78,109 @@ EXPERIMENTS = {
 }
 
 
+#: Query templates over the CrowdRank schema M(id, genre, lead_sex,
+#: lead_age, duration), V(voter, sex, age), P(voter); ``{genre}`` /
+#: ``{sex}`` / ``{duration}`` are filled by :func:`batch_queries`.
+_BATCH_TEMPLATES = (
+    "P(v; m1; m2), M(m1, '{genre}', _, _, _), M(m2, _, _, _, '{duration}')",
+    "P(v; m1; m2), M(m1, _, '{sex}', _, _), M(m2, 'Thriller', _, _, _)",
+    "P(v; m1; m2), V(v, sex, _), M(m1, _, sex, _, _), "
+    "M(m2, _, _, _, '{duration}')",
+    "P(v; m1; m2), P(v; m2; m3), M(m1, '{genre}', _, _, _), "
+    "M(m2, _, '{sex}', _, _), M(m3, _, _, _, '{duration}')",
+)
+
+
+def batch_queries(n_queries: int) -> list[str]:
+    """A deterministic family of CrowdRank-style queries for batch demos.
+
+    Cycles the templates through genre/sex/duration parameters, mimicking a
+    session of near-identical repeated traffic — the workload shape the
+    cross-query solver cache exploits (consensus-answer workloads of
+    Li & Deshpande 2008 hammer the same sessions with such families).
+    """
+    from repro.datasets.crowdrank import DURATIONS, GENRES, SEXES
+
+    queries = []
+    for index in range(n_queries):
+        template = _BATCH_TEMPLATES[index % len(_BATCH_TEMPLATES)]
+        queries.append(
+            template.format(
+                genre=GENRES[index % len(GENRES)],
+                sex=SEXES[index % len(SEXES)],
+                duration=DURATIONS[index % len(DURATIONS)],
+            )
+        )
+    return queries
+
+
+def run_batch(args) -> int:
+    """Serve a repeated query batch through a PreferenceService."""
+    from repro.datasets.crowdrank import crowdrank_database
+    from repro.query.engine import APPROXIMATE_METHODS
+    from repro.service.service import PreferenceService
+    from repro.solvers.dispatch import available_methods
+
+    known_methods = ("auto",) + available_methods() + APPROXIMATE_METHODS
+    if args.method not in known_methods:
+        print(
+            f"unknown method {args.method!r}; available: "
+            f"{', '.join(known_methods)}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.capacity < 1:
+        print(f"--capacity must be >= 1, got {args.capacity}", file=sys.stderr)
+        return 2
+
+    db = crowdrank_database(
+        n_workers=args.sessions, n_movies=args.movies, seed=args.seed
+    )
+    queries = batch_queries(args.queries)
+    service = PreferenceService(
+        cache_capacity=args.capacity,
+        method=args.method,
+        max_workers=args.workers,
+    )
+    # Sampling methods need an rng (and bypass the cache — the passes
+    # then report their per-query solve counts instead of cache hits).
+    rng = None
+    if args.method in APPROXIMATE_METHODS:
+        import numpy as np
+
+        rng = np.random.default_rng(args.seed)
+    rows = []
+    for pass_index in range(1, args.repeat + 1):
+        batch = service.evaluate_many(queries, db, rng=rng)
+        rows.append(
+            [
+                pass_index,
+                batch.n_queries,
+                batch.n_sessions,
+                batch.n_distinct_solves,
+                batch.n_cache_hits,
+                batch.seconds,
+                batch.n_queries / batch.seconds if batch.seconds else 0.0,
+            ]
+        )
+    print(f"== batch serving: {args.queries} queries x {args.repeat} passes ==")
+    print(
+        format_table(
+            ["pass", "queries", "sessions", "distinct_solves", "cache_hits",
+             "seconds", "queries_per_s"],
+            rows,
+        )
+    )
+    stats = service.stats()
+    print(
+        "cache: "
+        + ", ".join(f"{name}={stats[name]}" for name in
+                    ("hits", "misses", "evictions", "size", "capacity"))
+        + f", hit_rate={stats['hit_rate']:.3f}"
+    )
+    return 0
+
+
 def run_figure(name: str, fast: bool) -> int:
     try:
         runner, fast_kwargs = EXPERIMENTS[name]
@@ -109,6 +216,35 @@ def main(argv: list[str] | None = None) -> int:
         help="smaller parameters (seconds instead of minutes)",
     )
     subparsers.add_parser("demo", help="run the quickstart walkthrough")
+    batch_parser = subparsers.add_parser(
+        "batch",
+        help="serve a repeated query batch through the solver cache",
+    )
+    batch_parser.add_argument(
+        "--queries", type=int, default=12, help="queries per pass"
+    )
+    batch_parser.add_argument(
+        "--sessions", type=int, default=200, help="CrowdRank sessions"
+    )
+    batch_parser.add_argument(
+        "--movies", type=int, default=8, help="CrowdRank catalog size"
+    )
+    batch_parser.add_argument(
+        "--repeat", type=int, default=2,
+        help="number of passes over the same batch (pass 2+ is cache-warm)",
+    )
+    batch_parser.add_argument(
+        "--workers", type=int, default=1,
+        help="worker-pool size for distinct solves (1 = serial)",
+    )
+    batch_parser.add_argument(
+        "--capacity", type=int, default=4096, help="solver-cache capacity"
+    )
+    batch_parser.add_argument(
+        "--method", default="auto",
+        help="solver method (default: auto dispatch)",
+    )
+    batch_parser.add_argument("--seed", type=int, default=7)
 
     args = parser.parse_args(argv)
     if args.command == "list":
@@ -119,6 +255,8 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     if args.command == "figure":
         return run_figure(args.name, args.fast)
+    if args.command == "batch":
+        return run_batch(args)
     if args.command == "demo":
         # The examples directory is not an installed package; run the
         # quickstart by path so `python -m repro demo` works from a clone.

@@ -10,6 +10,8 @@ from __future__ import annotations
 
 from typing import Hashable, Iterable, Mapping
 
+from repro.patterns.pattern import canonical_sort_key, sorted_labels
+
 Item = Hashable
 Label = Hashable
 
@@ -92,6 +94,35 @@ class Labeling:
 
     def __repr__(self) -> str:
         return f"Labeling({len(self._labels)} items, {len(self._index)} labels)"
+
+    # ------------------------------------------------------------------
+    # Canonicalization (cache keys)
+    # ------------------------------------------------------------------
+
+    def freeze(self, labels: Iterable[Label] | None = None) -> tuple:
+        """A hashable canonical form, optionally projected to ``labels``.
+
+        Item order is normalized away (the mapping's insertion order is an
+        artifact of construction).  Passing the label set of a pattern
+        union projects each item's labels onto it: a solve depends only on
+        which *union* labels each item carries — plus the item universe
+        itself, which nodes with an empty label conjunction match — so the
+        projected form is what the cross-query cache keys on
+        (:mod:`repro.service.keys`).  Items whose projection is empty are
+        kept: they still serve empty-conjunction (wildcard) nodes.
+        """
+        keep = None if labels is None else frozenset(labels)
+        entries = [
+            (
+                item,
+                sorted_labels(
+                    item_labels if keep is None else item_labels & keep
+                ),
+            )
+            for item, item_labels in self._labels.items()
+        ]
+        entries.sort(key=lambda entry: canonical_sort_key(entry[0]))
+        return ("labeling", tuple(entries))
 
     # ------------------------------------------------------------------
     # Construction helpers

@@ -18,10 +18,51 @@ sets (:func:`pattern_conjunction`).
 
 from __future__ import annotations
 
+import itertools
+import math
 from dataclasses import dataclass
 from typing import Hashable, Iterable, Iterator, Sequence
 
 Label = Hashable
+
+#: Canonicalizing away node names exhausts the orderings of nodes the
+#: Weisfeiler-Lehman refinement cannot distinguish; beyond this many
+#: candidate orderings :meth:`LabelPattern.canonical_form` falls back to a
+#: name-sensitive form (sound for caching — it only misses collisions).
+_CANONICAL_ORDERINGS_CAP = 5040
+
+
+def canonical_sort_key(value: Hashable) -> tuple[str, str, str]:
+    """A process-deterministic total order over arbitrary hashables.
+
+    Labels, items, and pattern nodes are plain hashables with no common
+    ordering, so canonical forms sort them by type and ``repr``.  Distinct
+    values may share a key (a ``repr`` collision); canonicalization treats
+    such ties conservatively — the resulting forms stay *sound* as cache
+    keys, they merely stop collapsing the tied values.
+    """
+    return (type(value).__module__, type(value).__qualname__, repr(value))
+
+
+def sorted_labels(labels: Iterable[Label]) -> tuple[Label, ...]:
+    """Labels as a tuple in :func:`canonical_sort_key` order."""
+    return tuple(sorted(labels, key=canonical_sort_key))
+
+
+def canonical_form_sort_key(form: tuple) -> tuple:
+    """A comparable key for ordering canonical forms (see PatternUnion.freeze)."""
+    tag, nodes_part, edges = form
+    if tag == "named":
+        nodes_key = tuple(
+            (name, tuple(canonical_sort_key(label) for label in labels))
+            for name, labels in nodes_part
+        )
+    else:
+        nodes_key = tuple(
+            tuple(canonical_sort_key(label) for label in labels)
+            for labels in nodes_part
+        )
+    return (tag, nodes_key, edges)
 
 
 @dataclass(frozen=True)
@@ -211,6 +252,88 @@ class LabelPattern:
     def right_nodes(self) -> frozenset[PatternNode]:
         """Sink-side nodes of a bipartite pattern."""
         return frozenset(n for n in self._nodes if self._in.get(n))
+
+    # ------------------------------------------------------------------
+    # Canonicalization (cache keys)
+    # ------------------------------------------------------------------
+
+    def canonical_form(self) -> tuple:
+        """A hashable encoding of the pattern, invariant under node renaming.
+
+        Node names carry no semantics — they echo the query variables the
+        nodes came from — so two patterns that differ only in names match
+        exactly the same rankings.  The cross-query solver cache
+        (:mod:`repro.service.keys`) therefore keys requests by this form:
+
+        * equal forms imply the patterns are isomorphic as label-annotated
+          DAGs (the form lists each node's actual label objects in a
+          canonical order plus edges as index pairs), so a cache collision
+          is always semantically safe;
+        * renamed-but-identical patterns produce equal forms: names are
+          normalized away by a Weisfeiler-Lehman-style color refinement,
+          and remaining ties are resolved by exhausting their orderings and
+          keeping the lexicographically smallest edge encoding.
+
+        Patterns whose tie groups would require more than
+        ``_CANONICAL_ORDERINGS_CAP`` orderings fall back to a form that
+        includes node names — still a sound cache key, it just no longer
+        collapses renamings of such (pathologically symmetric) patterns.
+        """
+        nodes = sorted(self._nodes, key=lambda n: n.name)
+        base = {
+            n: tuple(canonical_sort_key(label) for label in sorted_labels(n.labels))
+            for n in nodes
+        }
+        color: dict[PatternNode, tuple] = {n: (base[n],) for n in nodes}
+        for _ in range(len(nodes)):
+            refined = {
+                n: (
+                    color[n],
+                    tuple(sorted(color[p] for p in self._in.get(n, ()))),
+                    tuple(sorted(color[c] for c in self._out.get(n, ()))),
+                )
+                for n in nodes
+            }
+            ranks = {value: i for i, value in enumerate(sorted(set(refined.values())))}
+            new_color = {n: (base[n], ranks[refined[n]]) for n in nodes}
+            stable = len(set(new_color.values())) == len(set(color.values()))
+            color = new_color
+            if stable:
+                break
+
+        groups: dict[tuple, list[PatternNode]] = {}
+        for n in nodes:
+            groups.setdefault(color[n], []).append(n)
+        ordered_groups = [groups[c] for c in sorted(groups)]
+
+        n_orderings = 1
+        for group in ordered_groups:
+            n_orderings *= math.factorial(len(group))
+        if n_orderings > _CANONICAL_ORDERINGS_CAP:
+            ordered = sorted(nodes, key=lambda n: (color[n], n.name))
+            index = {n: i for i, n in enumerate(ordered)}
+            return (
+                "named",
+                tuple((n.name, sorted_labels(n.labels)) for n in ordered),
+                tuple(sorted((index[u], index[v]) for u, v in self._edges)),
+            )
+
+        best_edges: tuple | None = None
+        best_order: list[PatternNode] = []
+        for combo in itertools.product(
+            *(itertools.permutations(group) for group in ordered_groups)
+        ):
+            candidate = [n for group in combo for n in group]
+            index = {n: i for i, n in enumerate(candidate)}
+            edges = tuple(sorted((index[u], index[v]) for u, v in self._edges))
+            if best_edges is None or edges < best_edges:
+                best_edges = edges
+                best_order = candidate
+        return (
+            "canonical",
+            tuple(sorted_labels(n.labels) for n in best_order),
+            best_edges if best_edges is not None else (),
+        )
 
     # ------------------------------------------------------------------
     # Derivations

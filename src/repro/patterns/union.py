@@ -11,7 +11,11 @@ from __future__ import annotations
 from typing import Hashable, Iterable, Iterator
 
 from repro.patterns.labels import Labeling
-from repro.patterns.pattern import LabelPattern, PatternNode
+from repro.patterns.pattern import (
+    LabelPattern,
+    PatternNode,
+    canonical_form_sort_key,
+)
 
 Label = Hashable
 Item = Hashable
@@ -70,6 +74,26 @@ class PatternUnion:
 
     def __repr__(self) -> str:
         return "PatternUnion(" + " | ".join(map(repr, self._patterns)) + ")"
+
+    # ------------------------------------------------------------------
+    # Canonicalization (cache keys)
+    # ------------------------------------------------------------------
+
+    def freeze(self) -> tuple:
+        """A hashable canonical form of the union for cross-query caching.
+
+        Invariant to pattern order and to node renamings within each
+        pattern (duplicates-after-canonicalization collapse), so
+        semantically identical unions built by different queries produce
+        the same cache key — see :mod:`repro.service.keys`.  Equal frozen
+        forms imply the unions match exactly the same rankings under every
+        labeling.
+        """
+        forms = {pattern.canonical_form() for pattern in self._patterns}
+        return (
+            "pattern_union",
+            tuple(sorted(forms, key=canonical_form_sort_key)),
+        )
 
     # ------------------------------------------------------------------
     # Classification (drives solver dispatch)

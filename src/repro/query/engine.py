@@ -16,7 +16,13 @@ Evaluation of a Boolean CQ ``Q`` over a RIM-PPD ``D`` (Section 3.1):
 
 Identical-request grouping (Section 6.4): many sessions share the same
 (model, pattern-union) pair; with ``group_sessions=True`` (default) each
-distinct pair is solved once.
+distinct pair is solved once.  Passing a
+:class:`~repro.service.cache.SolverCache` via ``cache=`` generalizes that
+dedup across queries: session solves are keyed canonically
+(:func:`repro.service.keys.session_cache_key`), so repeated workloads are
+served from the cache instead of re-solving — see
+:class:`repro.service.service.PreferenceService` for the batch layer on
+top.
 """
 
 from __future__ import annotations
@@ -39,6 +45,8 @@ from repro.query.compile import compile_itemwise, labeling_for_patterns
 from repro.query.ground import decompose_query
 from repro.rim.mixture import MallowsMixture
 from repro.rim.sampling import empirical_probability
+from repro.service.cache import SolverCache
+from repro.service.keys import request_fingerprint, session_cache_key
 from repro.solvers.dispatch import solve as exact_solve
 
 SessionKey = tuple[Hashable, ...]
@@ -289,6 +297,19 @@ def solve_session(
 # ----------------------------------------------------------------------
 
 
+def aggregate_sessions(per_session: list[SessionEvaluation]) -> float:
+    """``Pr(Q | D) = 1 - prod_i (1 - Pr(Q | s_i))`` with per-session clamping.
+
+    The single aggregation used by both :func:`evaluate` and the batch
+    serving layer (:meth:`repro.service.service.PreferenceService`), so the
+    two paths cannot drift apart.
+    """
+    complement = 1.0
+    for evaluation in per_session:
+        complement *= 1.0 - min(1.0, max(0.0, evaluation.probability))
+    return 1.0 - complement
+
+
 def evaluate(
     query: ConjunctiveQuery,
     db: PPDatabase,
@@ -296,6 +317,7 @@ def evaluate(
     rng: np.random.Generator | None = None,
     group_sessions: bool = True,
     session_limit: int | None = None,
+    cache: SolverCache | None = None,
     **solver_options,
 ) -> QueryResult:
     """Evaluate a Boolean CQ: the probability it holds in a random world.
@@ -311,13 +333,30 @@ def evaluate(
     session_limit:
         Evaluate only the first N selected sessions (for scalability
         sweeps).
+    cache:
+        An optional :class:`~repro.service.cache.SolverCache` shared across
+        calls.  Session solves are then grouped by *canonical* key — so
+        equal-content models group even across distinct objects — and
+        consulted/stored in the cache before dispatching.  Ignored for the
+        sampling methods (their results are rng-dependent) and when
+        ``group_sessions=False`` (the naive baseline must re-solve every
+        session; a cache would silently reintroduce dedup).  The number of
+        cross-query hits is reported in ``QueryResult.stats["cache_hits"]``.
     solver_options:
         Forwarded to the chosen solver (e.g. ``n_proposals=10`` for
         MIS-AMP-lite, ``time_budget=60`` for exact solvers).
     """
     started = time.perf_counter()
-    works = compile_session_work(query, db, session_limit=session_limit)
-    prelation_items = db.prelation(analyze(query, db).p_relation).items
+    analysis = analyze(query, db)
+    works = compile_session_work(
+        query, db, analysis=analysis, session_limit=session_limit
+    )
+    prelation_items = db.prelation(analysis.p_relation).items
+    use_cache = (
+        cache is not None
+        and method not in APPROXIMATE_METHODS
+        and group_sessions
+    )
 
     labeling_cache: dict[PatternUnion, Labeling] = {}
 
@@ -330,18 +369,48 @@ def evaluate(
             labeling_cache[union] = cached
         return cached
 
+    # The model-independent half of a canonical key is expensive (pattern
+    # canonicalization) and shared by every session with the same union
+    # object — memoize it alongside the labeling.
+    fingerprint_cache: dict[PatternUnion, tuple] = {}
+
+    def fingerprint_of(union: PatternUnion) -> tuple:
+        cached = fingerprint_cache.get(union)
+        if cached is None:
+            cached = request_fingerprint(
+                labeling_of(union), union, method, solver_options
+            )
+            fingerprint_cache[union] = cached
+        return cached
+
     per_session: list[SessionEvaluation] = []
     n_solver_calls = 0
-    group_cache: dict[tuple, tuple[float, str]] = {}
-    group_keys: set[tuple] = set()
+    n_cache_hits = 0
+    group_cache: dict[Hashable, tuple[float, str]] = {}
+    group_keys: set[Hashable] = set()
     for work in works:
         if work.union is None:
             per_session.append(SessionEvaluation(work.key, 0.0, "unsatisfiable"))
             continue
-        group_key = (id(work.model), work.union)
+        if use_cache:
+            group_key: Hashable = session_cache_key(
+                work.model, labeling_of(work.union), work.union,
+                method, solver_options,
+                fingerprint=fingerprint_of(work.union),
+            )
+        else:
+            group_key = (id(work.model), work.union)
         group_keys.add(group_key)
-        if group_sessions and group_key in group_cache:
-            probability, solver_name = group_cache[group_key]
+        cached_outcome = (
+            group_cache.get(group_key) if group_sessions else None
+        )
+        if cached_outcome is None and use_cache:
+            cached_outcome = cache.get(group_key)
+            if cached_outcome is not None:
+                n_cache_hits += 1
+                group_cache[group_key] = cached_outcome
+        if cached_outcome is not None:
+            probability, solver_name = cached_outcome
         else:
             probability, solver_name = solve_session(
                 work.model,
@@ -354,15 +423,14 @@ def evaluate(
             n_solver_calls += 1
             if group_sessions:
                 group_cache[group_key] = (probability, solver_name)
+            if use_cache:
+                cache.put(group_key, (probability, solver_name))
         per_session.append(
             SessionEvaluation(work.key, probability, solver_name)
         )
 
-    complement = 1.0
-    for evaluation in per_session:
-        complement *= 1.0 - min(1.0, max(0.0, evaluation.probability))
     return QueryResult(
-        probability=1.0 - complement,
+        probability=aggregate_sessions(per_session),
         per_session=per_session,
         n_sessions=len(per_session),
         n_solver_calls=n_solver_calls,
@@ -370,4 +438,5 @@ def evaluate(
         grouped=group_sessions,
         method=method,
         seconds=time.perf_counter() - started,
+        stats={"cache_hits": n_cache_hits} if use_cache else {},
     )

@@ -101,6 +101,16 @@ class Mallows(RIM):
     def __repr__(self) -> str:
         return f"Mallows(m={self.m}, phi={self._phi}, sigma={list(self.sigma.items)!r})"
 
+    def freeze(self) -> tuple:
+        """Canonical cache-key form: the (sigma, phi) parameterization.
+
+        Distinct ``Mallows`` instances with equal center and dispersion
+        collide — the point of the cross-query solver cache
+        (:mod:`repro.service.keys`), which the id()-based within-query
+        grouping of the engine cannot do.
+        """
+        return ("mallows", self.sigma.items, self._phi)
+
     # ------------------------------------------------------------------
     # Closed-form density (overrides the trajectory-product computation
     # with the O(m log m) Kendall-tau form; both agree — see tests).

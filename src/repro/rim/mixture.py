@@ -68,6 +68,27 @@ class MallowsMixture:
             f"weights={[round(w, 4) for w in self._weights]!r})"
         )
 
+    def freeze(self) -> tuple:
+        """Canonical cache-key form, invariant to component order.
+
+        Components are frozen individually, duplicates are merged by
+        summing their weights, zero-weight components are dropped, and the
+        result is sorted — so mixtures that differ only in component
+        bookkeeping collide in the cross-query solver cache
+        (:mod:`repro.service.keys`).  A mixture that reduces to a single
+        full-weight component freezes as that component.
+        """
+        merged: dict[tuple, float] = {}
+        for component, weight in zip(self._components, self._weights):
+            if weight == 0.0:
+                continue
+            key = component.freeze()
+            merged[key] = merged.get(key, 0.0) + weight
+        entries = sorted(merged.items(), key=lambda kv: repr(kv[0]))
+        if len(entries) == 1 and entries[0][1] == 1.0:
+            return entries[0][0]
+        return ("mixture", tuple(entries))
+
     # ------------------------------------------------------------------
     # Distribution interface
     # ------------------------------------------------------------------

@@ -106,6 +106,17 @@ class RIM:
     def __repr__(self) -> str:
         return f"RIM(m={self.m}, sigma={list(self._sigma.items)!r})"
 
+    def freeze(self) -> tuple:
+        """A hashable canonical form of the model for cross-query caching.
+
+        Two RIM instances freeze identically exactly when they share the
+        reference ranking and the insertion matrix — i.e. they are the same
+        distribution by construction (``sigma`` order is a parameter, not
+        an artifact, so it is *not* normalized away).  See
+        :mod:`repro.service.keys`.
+        """
+        return ("rim", self._sigma.items, self._pi.tobytes())
+
     # ------------------------------------------------------------------
     # Generative semantics
     # ------------------------------------------------------------------

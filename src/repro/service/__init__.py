@@ -1,0 +1,42 @@
+"""The serving layer: canonical cache keys, a solver result cache, batching.
+
+Three pieces (see DESIGN.md, "The service layer"):
+
+* :mod:`repro.service.keys` — canonical cache keys for (model, labeling,
+  pattern-union) solve requests, built on the ``freeze()`` hooks of the
+  model and pattern classes;
+* :mod:`repro.service.cache` — a thread-safe LRU :class:`SolverCache` with
+  hit/miss/eviction statistics, consumed by the solver dispatch and the
+  query engine (``cache=`` parameter);
+* :mod:`repro.service.service` — the :class:`PreferenceService` batch API
+  (``evaluate_many``) that groups sessions across whole batches of queries
+  and runs the distinct solves on a worker pool.
+
+``PreferenceService``/``BatchResult`` are re-exported lazily: the query
+engine imports :mod:`repro.service.keys` at load time, and an eager import
+of :mod:`repro.service.service` here would close an import cycle back into
+the engine.
+"""
+
+from repro.service.cache import CacheStats, SolverCache
+from repro.service.keys import freeze_model, session_cache_key, solve_cache_key
+
+__all__ = [
+    "CacheStats",
+    "SolverCache",
+    "freeze_model",
+    "session_cache_key",
+    "solve_cache_key",
+    "PreferenceService",
+    "BatchResult",
+]
+
+_LAZY = {"PreferenceService", "BatchResult"}
+
+
+def __getattr__(name: str):
+    if name in _LAZY:
+        from repro.service import service as _service
+
+        return getattr(_service, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

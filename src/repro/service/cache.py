@@ -1,0 +1,141 @@
+"""An LRU result cache for solver requests, with hit/miss/eviction stats.
+
+The cache is deliberately dumb: a bounded, thread-safe mapping from
+canonical request keys (:mod:`repro.service.keys`) to solver outcomes.  All
+the intelligence lives in the keys — semantically identical requests
+collide there, so one :class:`SolverCache` shared across queries turns the
+paper's within-query identical-request grouping (Section 6.4) into
+cross-query reuse.  See DESIGN.md, "The service layer".
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Callable, Hashable
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """A point-in-time snapshot of cache counters."""
+
+    hits: int
+    misses: int
+    evictions: int
+    size: int
+    capacity: int
+
+    @property
+    def hit_rate(self) -> float:
+        """``hits / (hits + misses)``; 0.0 before any lookup."""
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "size": self.size,
+            "capacity": self.capacity,
+            "hit_rate": self.hit_rate,
+        }
+
+
+_MISSING = object()
+
+
+class SolverCache:
+    """A thread-safe LRU cache keyed by canonical solver-request keys.
+
+    Values are whatever the caller stores — the solver dispatch caches
+    :class:`~repro.solvers.base.SolverResult` objects, the query engine
+    caches ``(probability, solver_name)`` pairs; the two never collide
+    because their keys carry distinct tags ("solve" vs "session").
+
+    ``get``/``put`` update recency and the hit/miss/eviction counters;
+    ``__contains__`` and ``__len__`` are side-effect-free peeks.
+    """
+
+    def __init__(self, capacity: int = 4096):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self._capacity = capacity
+        self._data: OrderedDict[Hashable, Any] = OrderedDict()
+        self._lock = threading.RLock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._data
+
+    def __repr__(self) -> str:
+        return (
+            f"SolverCache(size={len(self._data)}, capacity={self._capacity}, "
+            f"hits={self._hits}, misses={self._misses})"
+        )
+
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        """The cached value (marking it most recently used), or ``default``."""
+        with self._lock:
+            value = self._data.get(key, _MISSING)
+            if value is _MISSING:
+                self._misses += 1
+                return default
+            self._data.move_to_end(key)
+            self._hits += 1
+            return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Insert/refresh an entry, evicting the least recently used beyond capacity."""
+        with self._lock:
+            if key in self._data:
+                self._data.move_to_end(key)
+            self._data[key] = value
+            while len(self._data) > self._capacity:
+                self._data.popitem(last=False)
+                self._evictions += 1
+
+    def get_or_compute(self, key: Hashable, compute: Callable[[], Any]) -> Any:
+        """The cached value, or ``compute()`` stored under ``key``.
+
+        ``compute`` runs outside the lock: concurrent misses on the same
+        key may duplicate work (both results are identical by construction
+        of the canonical keys), but a slow solve never blocks the cache.
+        """
+        value = self.get(key, _MISSING)
+        if value is not _MISSING:
+            return value
+        value = compute()
+        self.put(key, value)
+        return value
+
+    def clear(self) -> None:
+        """Drop all entries (counters are kept; see :meth:`reset_stats`)."""
+        with self._lock:
+            self._data.clear()
+
+    def reset_stats(self) -> None:
+        with self._lock:
+            self._hits = 0
+            self._misses = 0
+            self._evictions = 0
+
+    def stats(self) -> CacheStats:
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                size=len(self._data),
+                capacity=self._capacity,
+            )

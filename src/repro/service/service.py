@@ -1,0 +1,367 @@
+"""The batch serving layer: cross-query cached evaluation of Boolean CQs.
+
+:class:`PreferenceService` is the process-level entry point for repeated
+query traffic (the ROADMAP's north star).  It owns one
+:class:`~repro.service.cache.SolverCache` shared by every query it serves,
+and generalizes the paper's within-query identical-request grouping
+(Section 6.4) along two axes:
+
+* **across queries** — session solves are keyed canonically
+  (:mod:`repro.service.keys`), so a (model, labeling, union) triple solved
+  for one query is reused by every later query, in the same batch or not;
+* **across a batch** — :meth:`PreferenceService.evaluate_many` compiles a
+  whole batch first, deduplicates the distinct solves batch-wide, executes
+  them on a configurable ``concurrent.futures`` worker pool, and only then
+  assembles per-query results with cache/timing metadata.
+
+The solvers are pure Python, so the thread pool mostly helps when solves
+release the GIL (NumPy-heavy paths) or when the caller overlaps batches;
+the architectural point is that distinct solves are an explicit, schedulable
+work list rather than an accident of per-query iteration.  See DESIGN.md,
+"The service layer".
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Hashable, Iterator, Sequence
+
+import numpy as np
+
+from repro.db.database import PPDatabase
+from repro.patterns.labels import Labeling
+from repro.patterns.union import PatternUnion
+from repro.query.ast import ConjunctiveQuery
+from repro.query.classify import analyze
+from repro.query.compile import labeling_for_patterns
+from repro.query.engine import (
+    APPROXIMATE_METHODS,
+    QueryResult,
+    SessionEvaluation,
+    SessionKey,
+    aggregate_sessions,
+    compile_session_work,
+    evaluate,
+    solve_session,
+)
+from repro.query.parser import parse_query
+from repro.service.cache import SolverCache
+from repro.service.keys import request_fingerprint, session_cache_key
+
+
+@dataclass
+class BatchResult:
+    """Per-query results plus batch-level cache and timing metadata."""
+
+    results: list[QueryResult]
+    n_queries: int
+    n_sessions: int
+    #: Distinct solves actually executed for this batch (after batch-wide
+    #: dedup and cache lookups).
+    n_distinct_solves: int
+    #: Session groups served from the cross-query cache without solving.
+    n_cache_hits: int
+    seconds: float
+    #: Snapshot of the service cache counters after the batch.
+    cache_stats: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def probabilities(self) -> list[float]:
+        return [result.probability for result in self.results]
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __iter__(self) -> Iterator[QueryResult]:
+        return iter(self.results)
+
+    def __getitem__(self, index: int) -> QueryResult:
+        return self.results[index]
+
+
+@dataclass
+class _SessionEntry:
+    """One session of one query, ready to be grouped batch-wide."""
+
+    session_key: SessionKey
+    cache_key: Hashable | None  # None: the query is false on this session
+    model: Any = None
+    labeling: Labeling | None = None
+    union: PatternUnion | None = None
+
+
+def _default_workers() -> int:
+    return min(8, os.cpu_count() or 1)
+
+
+class PreferenceService:
+    """A cache-backed serving layer for repeated preference-query traffic.
+
+    Parameters
+    ----------
+    cache_capacity:
+        LRU capacity of the shared solver cache (ignored when an explicit
+        ``cache`` is given).
+    method:
+        Default solver method for :meth:`evaluate` / :meth:`evaluate_many`.
+    max_workers:
+        Default worker-pool size for :meth:`evaluate_many`; ``None`` picks
+        ``min(8, cpu_count)``, ``1`` forces serial execution.
+    solver_options:
+        Default options forwarded to every solve (e.g. ``time_budget=60``).
+
+    Examples
+    --------
+    >>> from repro.db.examples import polling_example
+    >>> service = PreferenceService(cache_capacity=128)
+    >>> db = polling_example()
+    >>> batch = service.evaluate_many(
+    ...     ["P('Ann', '5/5'; 'Trump'; 'Clinton')"] * 2, db
+    ... )
+    >>> batch.n_distinct_solves  # the repeat is served by grouping
+    1
+    >>> 0.0 < batch.probabilities[0] < 1.0
+    True
+    """
+
+    def __init__(
+        self,
+        cache_capacity: int = 4096,
+        method: str = "auto",
+        max_workers: int | None = None,
+        cache: SolverCache | None = None,
+        **solver_options,
+    ):
+        self.cache = cache if cache is not None else SolverCache(cache_capacity)
+        self.method = method
+        self.max_workers = max_workers
+        self.solver_options = solver_options
+
+    def stats(self) -> dict[str, float]:
+        """Current cache counters (hits, misses, evictions, hit_rate, ...)."""
+        return self.cache.stats().as_dict()
+
+    # ------------------------------------------------------------------
+    # Single-query path
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _parse(query: "ConjunctiveQuery | str") -> ConjunctiveQuery:
+        return parse_query(query) if isinstance(query, str) else query
+
+    def evaluate(
+        self,
+        query: "ConjunctiveQuery | str",
+        db: PPDatabase,
+        method: str | None = None,
+        rng: np.random.Generator | None = None,
+        **overrides,
+    ) -> QueryResult:
+        """One query through the shared cache (engine ``evaluate`` + cache)."""
+        options = {**self.solver_options, **overrides}
+        return evaluate(
+            self._parse(query),
+            db,
+            method=method or self.method,
+            rng=rng,
+            cache=self.cache,
+            **options,
+        )
+
+    # ------------------------------------------------------------------
+    # Batch path
+    # ------------------------------------------------------------------
+
+    def evaluate_many(
+        self,
+        queries: Sequence["ConjunctiveQuery | str"],
+        db: PPDatabase,
+        method: str | None = None,
+        max_workers: int | None = None,
+        rng: np.random.Generator | None = None,
+        session_limit: int | None = None,
+        **overrides,
+    ) -> BatchResult:
+        """Evaluate a batch of queries with batch-wide solve deduplication.
+
+        Per-query results match sequential :func:`repro.query.engine.evaluate`
+        exactly (same aggregation, same clamping); the batch metadata
+        reports how much work the grouping and the cache saved.  Sampling
+        methods (``mis_amp_*``, ``rejection``) are rng-driven and
+        non-cacheable, so they fall back to sequential evaluation.
+        """
+        started = time.perf_counter()
+        method = method or self.method
+        options = {**self.solver_options, **overrides}
+        parsed = [self._parse(query) for query in queries]
+
+        if method in APPROXIMATE_METHODS:
+            results = [
+                evaluate(
+                    query, db, method=method, rng=rng,
+                    session_limit=session_limit, **options,
+                )
+                for query in parsed
+            ]
+            return BatchResult(
+                results=results,
+                n_queries=len(results),
+                n_sessions=sum(result.n_sessions for result in results),
+                n_distinct_solves=sum(result.n_solver_calls for result in results),
+                n_cache_hits=0,
+                seconds=time.perf_counter() - started,
+                cache_stats=self.stats(),
+            )
+
+        compiled = [self._compile_query(query, db, method, options, session_limit)
+                    for query in parsed]
+
+        # Batch-wide dedup: one task per distinct canonical key not cached.
+        pending: dict[Hashable, _SessionEntry] = {}
+        resolved: dict[Hashable, tuple[float, str]] = {}
+        n_cache_hits = 0
+        for entries in compiled:
+            for entry in entries:
+                key = entry.cache_key
+                if key is None or key in pending or key in resolved:
+                    continue
+                cached = self.cache.get(key)
+                if cached is not None:
+                    resolved[key] = cached
+                    n_cache_hits += 1
+                else:
+                    pending[key] = entry
+
+        tasks = list(pending.items())
+        outcomes = self._run_solves(tasks, method, options, max_workers)
+        for (key, _), outcome in zip(tasks, outcomes):
+            resolved[key] = outcome
+            self.cache.put(key, outcome)
+
+        results = [
+            self._assemble(entries, resolved, pending, method)
+            for entries in compiled
+        ]
+        return BatchResult(
+            results=results,
+            n_queries=len(results),
+            n_sessions=sum(result.n_sessions for result in results),
+            n_distinct_solves=len(tasks),
+            n_cache_hits=n_cache_hits,
+            seconds=time.perf_counter() - started,
+            cache_stats=self.stats(),
+        )
+
+    def _compile_query(
+        self,
+        query: ConjunctiveQuery,
+        db: PPDatabase,
+        method: str,
+        options: dict,
+        session_limit: int | None,
+    ) -> list[_SessionEntry]:
+        """Sessions of one query with their canonical cache keys."""
+        analysis = analyze(query, db)
+        works = compile_session_work(
+            query, db, analysis=analysis, session_limit=session_limit
+        )
+        items = db.prelation(analysis.p_relation).items
+        labeling_memo: dict[PatternUnion, Labeling] = {}
+        fingerprint_memo: dict[PatternUnion, tuple] = {}
+        entries: list[_SessionEntry] = []
+        for work in works:
+            if work.union is None:
+                entries.append(_SessionEntry(work.key, None))
+                continue
+            labeling = labeling_memo.get(work.union)
+            if labeling is None:
+                labeling = labeling_for_patterns(work.union.patterns, items, db)
+                labeling_memo[work.union] = labeling
+            fingerprint = fingerprint_memo.get(work.union)
+            if fingerprint is None:
+                # Canonicalizing the union/labeling is the expensive half of
+                # the key; all sessions sharing the union object reuse it.
+                fingerprint = request_fingerprint(
+                    labeling, work.union, method, options
+                )
+                fingerprint_memo[work.union] = fingerprint
+            entries.append(
+                _SessionEntry(
+                    session_key=work.key,
+                    cache_key=session_cache_key(
+                        work.model, labeling, work.union, method, options,
+                        fingerprint=fingerprint,
+                    ),
+                    model=work.model,
+                    labeling=labeling,
+                    union=work.union,
+                )
+            )
+        return entries
+
+    def _run_solves(
+        self,
+        tasks: list[tuple[Hashable, _SessionEntry]],
+        method: str,
+        options: dict,
+        max_workers: int | None,
+    ) -> list[tuple[float, str]]:
+        def solve_one(entry: _SessionEntry) -> tuple[float, str]:
+            return solve_session(
+                entry.model, entry.labeling, entry.union, method=method, **options
+            )
+
+        workers = max_workers if max_workers is not None else self.max_workers
+        if workers is None:
+            workers = _default_workers()
+        if workers <= 1 or len(tasks) <= 1:
+            return [solve_one(entry) for _, entry in tasks]
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(solve_one, (entry for _, entry in tasks)))
+
+    @staticmethod
+    def _assemble(
+        entries: list[_SessionEntry],
+        resolved: dict[Hashable, tuple[float, str]],
+        pending: dict[Hashable, _SessionEntry],
+        method: str,
+    ) -> QueryResult:
+        """One query's result, via the engine's shared aggregation."""
+        per_session: list[SessionEvaluation] = []
+        fresh_keys: set[Hashable] = set()
+        group_keys: set[Hashable] = set()
+        for entry in entries:
+            if entry.cache_key is None:
+                per_session.append(
+                    SessionEvaluation(entry.session_key, 0.0, "unsatisfiable")
+                )
+                continue
+            probability, solver_name = resolved[entry.cache_key]
+            group_keys.add(entry.cache_key)
+            if entry.cache_key in pending:
+                fresh_keys.add(entry.cache_key)
+            per_session.append(
+                SessionEvaluation(entry.session_key, probability, solver_name)
+            )
+        return QueryResult(
+            probability=aggregate_sessions(per_session),
+            per_session=per_session,
+            n_sessions=len(per_session),
+            # A solve shared by several queries of the batch counts toward
+            # each of them; BatchResult.n_distinct_solves is batch-accurate.
+            n_solver_calls=len(fresh_keys),
+            n_groups=len(group_keys),
+            grouped=True,
+            method=method,
+            seconds=0.0,
+            # Same semantics as engine.evaluate: distinct session groups
+            # this query did not solve fresh (served by the cache or by
+            # another query of the batch).
+            stats={
+                "batched": True,
+                "cache_hits": len(group_keys - fresh_keys),
+            },
+        )

@@ -3,6 +3,11 @@
 The paper's experiments show a strict efficiency order — two-label solver
 < bipartite solver < general solver — with each specialized solver limited
 to its pattern class.  ``solve(..., method="auto")`` applies that order.
+
+Passing a :class:`~repro.service.cache.SolverCache` via ``cache=`` reuses
+results across calls: requests are keyed canonically
+(:func:`repro.service.keys.solve_cache_key`), so semantically identical
+(model, labeling, union) triples — however constructed — solve once.
 """
 
 from __future__ import annotations
@@ -10,6 +15,8 @@ from __future__ import annotations
 from typing import Callable
 
 from repro.patterns.labels import Labeling
+from repro.service.cache import SolverCache
+from repro.service.keys import solve_cache_key
 from repro.solvers.base import SolverResult, as_union
 from repro.solvers.bipartite import bipartite_probability
 from repro.solvers.brute import brute_force_probability
@@ -46,6 +53,7 @@ def solve(
     labeling: Labeling,
     union_or_pattern,
     method: str = "auto",
+    cache: SolverCache | None = None,
     **solver_options,
 ) -> SolverResult:
     """Compute ``Pr(G | sigma, Pi, lambda)`` with the chosen exact solver.
@@ -56,6 +64,10 @@ def solve(
         One of ``"auto"``, ``"two_label"``, ``"bipartite"``, ``"general"``,
         ``"lifted"``, ``"brute"``.  ``"auto"`` picks the most specialized
         applicable solver.
+    cache:
+        An optional :class:`~repro.service.cache.SolverCache`; canonically
+        identical requests return the cached :class:`SolverResult` without
+        solving.
     solver_options:
         Forwarded to the solver (e.g. ``time_budget=...``,
         ``merge_gaps=False``).
@@ -70,11 +82,23 @@ def solve(
             f"unknown method {method!r}; expected one of "
             f"{('auto',) + available_methods()}"
         ) from None
-    return solver(model, labeling, union, **solver_options)
+    if cache is None:
+        return solver(model, labeling, union, **solver_options)
+    key = solve_cache_key(model, labeling, union, method, solver_options)
+    return cache.get_or_compute(
+        key, lambda: solver(model, labeling, union, **solver_options)
+    )
 
 
 def exact_probability(
-    model, labeling: Labeling, union_or_pattern, method: str = "auto", **options
+    model,
+    labeling: Labeling,
+    union_or_pattern,
+    method: str = "auto",
+    cache: SolverCache | None = None,
+    **options,
 ) -> float:
     """Convenience wrapper returning just the probability."""
-    return solve(model, labeling, union_or_pattern, method, **options).probability
+    return solve(
+        model, labeling, union_or_pattern, method, cache=cache, **options
+    ).probability

@@ -37,6 +37,25 @@ class TestFigure:
                 assert key in signature.parameters, (name, key)
 
 
+class TestBatch:
+    def test_batch_reports_cache_warming(self, capsys):
+        assert main(
+            [
+                "batch", "--queries", "4", "--sessions", "30", "--movies", "6",
+                "--repeat", "2", "--seed", "3",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "batch serving" in out
+        assert "cache_hits" in out
+        # Pass 2 re-serves the identical batch: all hits, no fresh solves.
+        warm_row = [
+            line for line in out.splitlines() if line.startswith("2 ")
+        ][0]
+        assert warm_row.split()[3] == "0"  # distinct_solves
+        assert "hit_rate=0.500" in out
+
+
 class TestArgparse:
     def test_requires_command(self):
         with pytest.raises(SystemExit):

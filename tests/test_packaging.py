@@ -1,0 +1,34 @@
+"""Packaging metadata stays consistent with the package itself."""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+import repro
+
+tomllib = pytest.importorskip("tomllib")  # stdlib since 3.11
+
+PYPROJECT = Path(__file__).resolve().parents[1] / "pyproject.toml"
+
+
+def test_pyproject_parses_and_declares_dynamic_version():
+    config = tomllib.loads(PYPROJECT.read_text())
+    project = config["project"]
+    assert "version" in project.get("dynamic", ())
+    # The dynamic version resolves to the package's single source of truth.
+    attr = config["tool"]["setuptools"]["dynamic"]["version"]["attr"]
+    module_name, _, attribute = attr.rpartition(".")
+    assert getattr(sys.modules[module_name], attribute) == repro.__version__
+
+
+def test_runtime_dependencies_are_just_numpy():
+    config = tomllib.loads(PYPROJECT.read_text())
+    names = [dep.split(">")[0].split("=")[0].strip()
+             for dep in config["project"]["dependencies"]]
+    assert names == ["numpy"]
+
+
+def test_packages_found_under_src():
+    config = tomllib.loads(PYPROJECT.read_text())
+    assert config["tool"]["setuptools"]["packages"]["find"]["where"] == ["src"]
