@@ -134,3 +134,77 @@ def test_two_label_gap_merge_ablation(record_result, benchmark):
     record_result(result)
     # Gap merging should help on average (items serving no label dominate).
     assert sum(speedups) / len(speedups) > 1.0
+
+
+def test_memoized_precompute_ablation(record_result, benchmark):
+    """Per-model precompute on/off (DESIGN.md Section 7 memoization contract).
+
+    The workload repeats what MIS-AMP-style traffic does: construct
+    same-(m, phi) Mallows models (recentered proposals), run an exact
+    solver, and draw a sample batch.  With memoization off, every
+    construction rebuilds the (m, phi) insertion matrix and every solver
+    and sampler call rebuilds the prefix-sum tables — the pre-kernel
+    behavior; with it on, the parameter tables are shared and the derived
+    tables are built once per model.
+    """
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    from repro.kernels import clear_caches, memoization_disabled
+    from repro.rankings.permutation import Ranking as _Ranking
+    from repro.rim.mallows import Mallows as _Mallows
+    import numpy as _np
+
+    m = 20
+    phi = 0.6
+    repeats = 20
+    instance = next(
+        iter(
+            benchmark_d(
+                m_values=(m,),
+                patterns_per_union=(2,),
+                items_per_label=(3,),
+                instances_per_combo=1,
+                seed=44,
+            )
+        )
+    )
+
+    def workload():
+        # Same-(m, phi) model churn + solver + sampler traffic.
+        base = _Mallows(list(range(m)), phi)
+        probability = two_label_probability(
+            instance.model, instance.labeling, instance.union
+        ).probability
+        rng = _np.random.default_rng(44)
+        for _ in range(repeats):
+            recentered = base.recenter(
+                _Ranking(rng.permutation(m).tolist())
+            )
+            recentered.sample_positions(50, rng)
+        return probability
+
+    with memoization_disabled():
+        with Timer() as off_timer:
+            p_off = workload()
+    clear_caches()
+    with Timer() as cold_timer:
+        p_cold = workload()  # first memoized pass: fills the caches
+    with Timer() as warm_timer:
+        p_warm = workload()  # steady state: all parameter tables shared
+
+    agree = abs(p_off - p_cold) < 1e-9 and abs(p_off - p_warm) < 1e-9
+    speedup = off_timer.seconds / max(warm_timer.seconds, 1e-9)
+    result = ExperimentResult(
+        experiment="ablation_memoized_precompute",
+        headers=["memoization", "seconds", "speedup_vs_off", "agree"],
+        rows=[
+            ["off", off_timer.seconds, 1.0, agree],
+            ["on_cold", cold_timer.seconds,
+             off_timer.seconds / max(cold_timer.seconds, 1e-9), agree],
+            ["on_warm", warm_timer.seconds, speedup, agree],
+        ],
+        notes={"m": m, "phi": phi, "model_churn": repeats},
+    )
+    record_result(result)
+    assert agree
+    # Warm memoized traffic must not be slower than recompute-per-call.
+    assert warm_timer.seconds <= off_timer.seconds * 1.2

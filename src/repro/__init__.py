@@ -24,6 +24,11 @@ See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
 reproduction of every table and figure of the paper's evaluation.
 """
 
+from repro.kernels import (
+    model_tables,
+    rankings_from_positions,
+    union_satisfied_many,
+)
 from repro.patterns import (
     Labeling,
     LabelPattern,
@@ -67,6 +72,9 @@ __all__ = [
     "pattern_conjunction",
     "matches",
     "matches_union",
+    "model_tables",
+    "rankings_from_positions",
+    "union_satisfied_many",
     "SolverResult",
     "SolverCache",
     "PreferenceService",

@@ -34,6 +34,7 @@ def mis_amp_adaptive(
     relative_tolerance: float = 0.05,
     compensate: bool = True,
     workspace: LiteWorkspace | None = None,
+    vectorized: bool = True,
 ) -> SolverResult:
     """Adaptive MIS-AMP estimate of ``Pr(G | sigma, phi, lambda)``.
 
@@ -69,6 +70,7 @@ def mis_amp_adaptive(
             rng=rng,
             compensate=compensate,
             workspace=workspace,
+            vectorized=vectorized,
         )
         estimates.append(result.probability)
         d_values.append(result.stats["d_used"])

@@ -27,14 +27,29 @@ def is_amp_estimate(
     psi: SubRanking,
     n_samples: int,
     rng: np.random.Generator,
+    *,
+    vectorized: bool = True,
 ) -> EstimateResult:
-    """Estimate ``Pr(tau |= psi | sigma, phi)`` with a single AMP proposal."""
+    """Estimate ``Pr(tau |= psi | sigma, phi)`` with a single AMP proposal.
+
+    The default path draws the whole batch as a position matrix and
+    computes every importance weight ``p(x) / q(x)`` in one array pass
+    (Equation 4); ``vectorized=False`` is the scalar reference, identical
+    under a fixed seed up to floating-point summation order.
+    """
     if n_samples <= 0:
         raise ValueError("n_samples must be positive")
     proposal = AMPSampler(model, psi)
-    total = 0.0
-    for _ in range(n_samples):
-        x = proposal.sample(rng)
-        log_w = model.log_probability(x) - proposal.log_probability(x)
-        total += math.exp(log_w)
+    if vectorized:
+        positions = proposal.sample_positions(n_samples, rng)
+        log_w = model.log_probability_many(positions) - (
+            proposal.log_probability_many(positions)
+        )
+        total = float(np.exp(log_w).sum())
+    else:
+        total = 0.0
+        for _ in range(n_samples):
+            x = proposal.sample(rng)
+            log_w = model.log_probability(x) - proposal.log_probability(x)
+            total += math.exp(log_w)
     return EstimateResult(total / n_samples, n_samples, n_samples)

@@ -132,6 +132,7 @@ def mis_amp_lite(
     workspace: LiteWorkspace | None = None,
     max_embeddings: int = DEFAULT_MAX_EMBEDDINGS,
     max_subrankings: int = DEFAULT_MAX_SUBRANKINGS,
+    vectorized: bool = True,
 ) -> SolverResult:
     """MIS-AMP-lite estimate of ``Pr(G | sigma, phi, lambda)``.
 
@@ -148,6 +149,9 @@ def mis_amp_lite(
     compensate:
         Apply the compensation factors ``c_psi * c_r`` (disable for the
         Figure 11c/12 ablations).
+    vectorized:
+        Run the balance-heuristic MIS through the batched kernels
+        (default); ``False`` selects the scalar reference loop.
     """
     if n_proposals < 1:
         raise ValueError("n_proposals must be at least 1")
@@ -220,7 +224,9 @@ def mis_amp_lite(
         AMPSampler(model.recenter(modal), workspace.subrankings[index])
         for index, modal, _ in kept
     ]
-    raw = balance_heuristic_estimate(model, proposals, n_per_proposal, rng)
+    raw = balance_heuristic_estimate(
+        model, proposals, n_per_proposal, rng, vectorized=vectorized
+    )
     sampling_seconds = time.perf_counter() - sampling_started
 
     estimate = raw * (c_psi * c_r) if compensate else raw

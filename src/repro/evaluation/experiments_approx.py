@@ -20,11 +20,13 @@ from repro.datasets.movielens import movielens_database
 from repro.datasets.polls import polls_database
 from repro.evaluation.experiments_exact import FIG4_QUERY, ExperimentResult
 from repro.evaluation.harness import Timer, percentile, relative_error
+from repro.kernels.predicates import subranking_predicate
 from repro.patterns.labels import Labeling
 from repro.patterns.pattern import LabelPattern, PatternNode
 from repro.query.compile import labeling_for_patterns
 from repro.query.engine import compile_session_work, evaluate, solve_session
 from repro.query.parser import parse_query
+from repro.rankings.subranking import SubRanking
 from repro.rim.mallows import Mallows
 from repro.rim.sampling import rejection_until_within
 from repro.solvers.dispatch import solve as exact_solve
@@ -75,8 +77,9 @@ def figure_9(
         )
         exact = two_label_probability(model, labeling, pattern).probability
 
-        def predicate(tau):
-            return tau.rank_of(items[-1]) < tau.rank_of(items[0])
+        # sigma_m > sigma_1 as a sub-ranking consistency predicate, so the
+        # RS runs evaluate whole sample batches through the kernel layer.
+        predicate = subranking_predicate(SubRanking([items[-1], items[0]]))
 
         rs_times, rs_samples = [], []
         lite_times, lite_errors = [], []

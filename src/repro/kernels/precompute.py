@@ -1,0 +1,186 @@
+"""Per-model memoized precompute tables shared by samplers and solvers.
+
+Every hot path of the library ultimately walks the insertion matrix
+``Pi`` of a RIM model: samplers draw categorical insertion positions per
+step, the exact DP solvers (:mod:`repro.solvers.two_label`,
+:mod:`repro.solvers.bipartite`, :mod:`repro.solvers.lifted`) integrate
+row prefix sums over gaps, and the density kernels evaluate per-step log
+weights.  Before the kernel layer each of those call sites recomputed its
+derived tables (``np.cumsum`` per step and per state batch, fresh Mallows
+insertion matrices per ``recenter``) on every call.
+
+This module computes the derived tables **once per model instance** and
+caches them on the (immutable) model:
+
+* :class:`ModelTables` — the read-only insertion matrix, its per-row
+  prefix sums (``cumulative[i, k]`` = mass of the first ``k`` positions of
+  row ``i``), and the elementwise log matrix;
+* :func:`mallows_matrix` / :func:`mallows_log_z` — the ``(m, phi)``-keyed
+  Mallows parameter tables, shared across *instances*: MIS-AMP's
+  ``recenter`` builds one Mallows model per modal, all with the same
+  ``(m, phi)``, so the O(m^2) matrix construction is paid once.
+
+The memoization contract (DESIGN.md Section 7): tables are derived from
+constructor arguments of immutable models, so they can never go stale;
+:func:`memoization_disabled` turns the caches off for the ablation
+benchmarks, reproducing the pre-kernel recompute-per-call behavior.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
+
+#: Cache-on-instance attribute name for :func:`model_tables`.
+_TABLES_ATTR = "_kernel_tables"
+
+_memoize = True
+
+
+def memoization_enabled() -> bool:
+    """Whether per-model precompute caching is active (ablation switch)."""
+    return _memoize
+
+
+@contextlib.contextmanager
+def memoization_disabled():
+    """Context manager: recompute tables on every call (ablation mode).
+
+    Entering also drops the parameter-table caches so timings include the
+    cold construction cost; instance-cached tables built before entering
+    are left in place (models constructed *inside* the context do not
+    cache).
+    """
+    global _memoize
+    previous = _memoize
+    _memoize = False
+    clear_caches()
+    try:
+        yield
+    finally:
+        _memoize = previous
+
+
+def clear_caches() -> None:
+    """Drop the (m, phi)-keyed Mallows parameter caches."""
+    _mallows_matrix_cached.cache_clear()
+    _mallows_log_z_cached.cache_clear()
+
+
+@dataclass(frozen=True)
+class ModelTables:
+    """Derived, read-only tables of one RIM model's insertion matrix."""
+
+    #: The (m, m) insertion matrix (the model's own read-only array).
+    pi: np.ndarray
+    #: (m, m + 1) per-row prefix sums: ``cumulative[i, k]`` is the total
+    #: mass of positions ``1..k`` of row ``i`` (``cumulative[i, 0] == 0``).
+    #: Row ``i`` carries no mass beyond position ``i + 1``, so entries past
+    #: the diagonal repeat the row total (~1).
+    cumulative: np.ndarray
+    #: (m, m) elementwise ``log(pi)`` with ``-inf`` where ``pi <= 0``.
+    log_pi: np.ndarray
+
+    @property
+    def m(self) -> int:
+        return self.pi.shape[0]
+
+
+def _build_tables(pi: np.ndarray) -> ModelTables:
+    m = pi.shape[0]
+    cumulative = np.zeros((m, m + 1), dtype=float)
+    np.cumsum(pi, axis=1, out=cumulative[:, 1:])
+    cumulative.setflags(write=False)
+    with np.errstate(divide="ignore"):
+        log_pi = np.where(pi > 0.0, np.log(np.where(pi > 0.0, pi, 1.0)), -np.inf)
+    log_pi.setflags(write=False)
+    return ModelTables(pi=pi, cumulative=cumulative, log_pi=log_pi)
+
+
+def model_tables(model) -> ModelTables:
+    """The precompute tables of ``model``, cached on the instance.
+
+    ``model`` is any object with a read-only ``pi`` insertion matrix
+    (:class:`repro.rim.model.RIM` or a subclass).  The tables are derived
+    purely from ``pi``, which is frozen at construction, so instance
+    caching is safe for the model's lifetime.
+    """
+    if _memoize:
+        cached = getattr(model, _TABLES_ATTR, None)
+        if cached is not None:
+            return cached
+    tables = _build_tables(model.pi)
+    if _memoize:
+        try:
+            setattr(model, _TABLES_ATTR, tables)
+        except AttributeError:
+            pass  # __slots__-style models: recompute per call
+    return tables
+
+
+# ----------------------------------------------------------------------
+# Mallows parameter tables, shared across instances by (m, phi)
+# ----------------------------------------------------------------------
+
+
+@lru_cache(maxsize=512)
+def _mallows_matrix_cached(m: int, phi: float) -> np.ndarray:
+    matrix = _build_mallows_matrix(m, phi)
+    matrix.setflags(write=False)
+    return matrix
+
+
+def _build_mallows_matrix(m: int, phi: float) -> np.ndarray:
+    """Vectorized ``Pi(i, j) = phi^{i-j} / sum_k phi^{i-k}`` construction."""
+    pi = np.zeros((m, m), dtype=float)
+    if m == 0:
+        return pi
+    if phi == 0.0:
+        np.fill_diagonal(pi, 1.0)
+        return pi
+    # exponents[i, j] = i - j for the lower triangle (0-based: row i holds
+    # phi^{i-j} at columns j = 0..i).
+    rows = np.arange(m)[:, None]
+    cols = np.arange(m)[None, :]
+    lower = cols <= rows
+    weights = np.where(lower, phi ** np.where(lower, rows - cols, 0), 0.0)
+    pi[:, :] = weights / weights.sum(axis=1, keepdims=True)
+    return pi
+
+
+def mallows_matrix(m: int, phi: float) -> np.ndarray:
+    """The (read-only) Mallows insertion matrix, memoized by ``(m, phi)``.
+
+    Distinct :class:`~repro.rim.mallows.Mallows` instances with equal
+    ``(m, phi)`` — e.g. the per-modal recentered proposals of MIS-AMP —
+    share one array.
+    """
+    if not 0.0 <= phi <= 1.0:
+        raise ValueError(f"phi must be in [0, 1], got {phi}")
+    if _memoize:
+        return _mallows_matrix_cached(m, float(phi))
+    return _build_mallows_matrix(m, float(phi))
+
+
+@lru_cache(maxsize=512)
+def _mallows_log_z_cached(m: int, phi: float) -> float:
+    return _build_mallows_log_z(m, phi)
+
+
+def _build_mallows_log_z(m: int, phi: float) -> float:
+    if phi == 0.0:
+        return 0.0
+    i = np.arange(1, m + 1, dtype=float)
+    if phi == 1.0:
+        return float(np.log(i).sum())
+    return float(np.log((1.0 - phi**i) / (1.0 - phi)).sum())
+
+
+def mallows_log_z(m: int, phi: float) -> float:
+    """``log Z(phi, m)`` — the Mallows partition function, memoized."""
+    if _memoize:
+        return _mallows_log_z_cached(m, float(phi))
+    return _build_mallows_log_z(m, float(phi))

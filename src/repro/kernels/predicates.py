@@ -1,0 +1,149 @@
+"""Vectorized predicate evaluation over position matrices.
+
+The Monte-Carlo estimators decide, per sample, whether a ranking
+satisfies a sub-ranking or a pattern union.  The scalar path materializes
+a :class:`~repro.rankings.permutation.Ranking` and runs the per-object
+greedy matcher (:mod:`repro.patterns.matching`); these kernels evaluate
+the same canonical greedy embedding for a whole ``(n, m)`` position batch
+with one array pass per pattern node.
+
+The greedy matcher maps each node (in topological order) to the smallest
+position strictly below all its parents whose item serves the node.
+Which items serve a node depends only on the labeling — not the sample —
+so the serving sets are compiled once per (model, union, labeling) into
+reference-order index arrays and the per-sample work is a masked min.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+import numpy as np
+
+from repro.patterns.labels import Labeling
+from repro.patterns.pattern import LabelPattern
+from repro.patterns.union import PatternUnion
+
+Item = Hashable
+
+#: Sentinel position meaning "no feasible position" in the masked min.
+_NO_POSITION = np.iinfo(np.int64).max
+
+
+def subranking_satisfied_many(
+    model, psi, positions: np.ndarray
+) -> np.ndarray:
+    """``tau |= psi`` for every sample: the psi-items appear in psi order."""
+    sigma_index = {item: k for k, item in enumerate(model.sigma.items)}
+    try:
+        indices = [sigma_index[item] for item in psi.items]
+    except KeyError as error:
+        raise KeyError(f"sub-ranking item not in model: {error}") from None
+    n = positions.shape[0]
+    satisfied = np.ones(n, dtype=bool)
+    for first, second in zip(indices, indices[1:]):
+        satisfied &= positions[:, first] < positions[:, second]
+    return satisfied
+
+
+class SubRankingPredicate:
+    """``tau |= psi`` as a predicate object for Monte-Carlo estimators.
+
+    Callable on a single ranking (delegates to ``psi.is_consistent_with``)
+    and batched over position matrices via :meth:`many` — the pair of
+    entry points the estimators in :mod:`repro.rim.sampling` auto-detect.
+    """
+
+    def __init__(self, psi):
+        self._psi = psi
+
+    def __call__(self, ranking) -> bool:
+        return self._psi.is_consistent_with(ranking)
+
+    def many(self, model, positions: np.ndarray) -> np.ndarray:
+        return subranking_satisfied_many(model, self._psi, positions)
+
+
+def subranking_predicate(psi) -> SubRankingPredicate:
+    """A scalar/batched consistency predicate for a sub-ranking."""
+    return SubRankingPredicate(psi)
+
+
+class CompiledUnionMatcher:
+    """Per-(model, union, labeling) compiled vectorized union matcher.
+
+    Compilation resolves, for every pattern node, the reference-order
+    indices of the items serving it.  :meth:`__call__` then evaluates the
+    canonical greedy embedding of every pattern for all samples at once.
+    """
+
+    def __init__(self, model, union: PatternUnion, labeling: Labeling):
+        self._m = model.m
+        self._patterns: list[list[tuple[np.ndarray, list[int]]]] = []
+        #: Per pattern: list of (serving-index array, parent slot indices)
+        #: in topological order; an empty serving array means the pattern
+        #: can never match.
+        item_labels = [labeling.labels_of(item) for item in model.sigma.items]
+        for pattern in union:
+            compiled: list[tuple[np.ndarray, list[int]]] = []
+            order = list(pattern.topological_order)
+            slot_of = {node: slot for slot, node in enumerate(order)}
+            for node in order:
+                serving = np.fromiter(
+                    (
+                        k
+                        for k, labels in enumerate(item_labels)
+                        if node.labels <= labels
+                    ),
+                    dtype=np.int64,
+                )
+                parents = [slot_of[parent] for parent in pattern.parents(node)]
+                compiled.append((serving, parents))
+            self._patterns.append(compiled)
+
+    def pattern_satisfied(
+        self, pattern_index: int, positions: np.ndarray
+    ) -> np.ndarray:
+        """Greedy-match one pattern against every sample of the batch."""
+        compiled = self._patterns[pattern_index]
+        n = positions.shape[0]
+        satisfied = np.ones(n, dtype=bool)
+        deltas: list[np.ndarray] = []
+        for serving, parents in compiled:
+            if serving.size == 0:
+                return np.zeros(n, dtype=bool)
+            bound = np.zeros(n, dtype=np.int64)
+            for parent_slot in parents:
+                np.maximum(bound, deltas[parent_slot], out=bound)
+            candidates = positions[:, serving]
+            masked = np.where(
+                candidates > bound[:, None], candidates, _NO_POSITION
+            )
+            delta = masked.min(axis=1)
+            deltas.append(delta)
+            satisfied &= delta != _NO_POSITION
+            if not satisfied.any():
+                return satisfied
+        return satisfied
+
+    def __call__(self, positions: np.ndarray) -> np.ndarray:
+        """``(tau, lambda) |= G`` for every sample of the batch."""
+        n = positions.shape[0]
+        satisfied = np.zeros(n, dtype=bool)
+        for pattern_index in range(len(self._patterns)):
+            satisfied |= self.pattern_satisfied(pattern_index, positions)
+            if satisfied.all():
+                break
+        return satisfied
+
+
+def union_satisfied_many(
+    model, union_or_pattern, labeling: Labeling, positions: np.ndarray
+) -> np.ndarray:
+    """One-shot vectorized union satisfaction (compiles, then evaluates)."""
+    union = (
+        PatternUnion([union_or_pattern])
+        if isinstance(union_or_pattern, LabelPattern)
+        else union_or_pattern
+    )
+    return CompiledUnionMatcher(model, union, labeling)(positions)

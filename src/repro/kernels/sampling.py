@@ -1,0 +1,242 @@
+"""Batched (vectorized) RIM / AMP sampling kernels.
+
+The scalar samplers of :mod:`repro.rim.model` and :mod:`repro.rim.amp`
+draw one ranking at a time through Python-level insertion loops.  These
+kernels run the same repeated-insertion process for ``n`` samples at
+once: at each insertion step ``i`` a categorical position is drawn for
+*all* samples via a single inverse-CDF ``searchsorted`` against the
+memoized row prefix sums (:mod:`repro.kernels.precompute`).
+
+Representation
+--------------
+A batch is a **position matrix**: an ``(n, m)`` int64 array ``P`` where
+``P[s, k]`` is the 1-based final rank of reference item ``sigma_{k+1}``
+in sample ``s``.  Positions (ranks per item, in reference order) are the
+natural coordinates for the density and predicate kernels; use
+:func:`positions_to_orders` / :func:`rankings_from_positions` to recover
+item orderings when :class:`~repro.rankings.permutation.Ranking` objects
+are genuinely needed.
+
+Seeded equivalence
+------------------
+Both the scalar reference samplers and these kernels consume exactly one
+``rng.random()`` uniform per (sample, step), samples in order, and map it
+through the same inverse-CDF arithmetic.  ``rng.random((n, m))`` fills in
+C order — sample-major — which matches the scalar loop's consumption
+order, so for a fixed seed the batched kernels reproduce the scalar
+samplers' draws *exactly* (tested in ``tests/test_kernels.py``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels.precompute import model_tables
+from repro.rankings.permutation import Ranking
+
+
+def categorical_step(
+    cumulative_row: np.ndarray, i: int, u: np.ndarray
+) -> np.ndarray:
+    """Vectorized inverse-CDF draw of insertion positions at step ``i``.
+
+    ``cumulative_row`` is row ``i - 1`` of the model's ``(m, m + 1)``
+    prefix-sum table; ``u`` holds one uniform per sample.  Returns 1-based
+    positions in ``1..i``.  This is the shared primitive: the scalar
+    reference samplers call it with a length-1 ``u``.
+    """
+    boundaries = cumulative_row[1 : i + 1]
+    targets = u * boundaries[-1]
+    positions = np.searchsorted(boundaries, targets, side="right") + 1
+    return np.minimum(positions, i)
+
+
+def constrained_categorical_step(
+    cumulative_row: np.ndarray,
+    i: int,
+    low: np.ndarray,
+    high: np.ndarray,
+    u: np.ndarray,
+) -> np.ndarray:
+    """Per-sample inverse-CDF draw restricted to ``[low, high]`` (AMP step).
+
+    Positions are drawn proportionally to the unconstrained row weights
+    within each sample's feasible range; samples whose range carries zero
+    mass fall back to the uniform choice over the range (same rule as the
+    scalar sampler).  One uniform per sample either way.
+    """
+    mass_low = cumulative_row[low - 1]
+    total = cumulative_row[high] - mass_low
+    boundaries = cumulative_row[1 : i + 1]
+    targets = mass_low + u * total
+    positions = np.searchsorted(boundaries, targets, side="right") + 1
+    fallback = total <= 0.0
+    if np.any(fallback):
+        span = high - low + 1
+        uniform = low + np.minimum(
+            (u * span).astype(np.int64), span - 1
+        )
+        positions = np.where(fallback, uniform, positions)
+    return np.clip(positions, low, high)
+
+
+def trajectories_to_positions(trajectories: np.ndarray) -> np.ndarray:
+    """Final position matrix of a batch of insertion trajectories.
+
+    ``trajectories[s, i - 1]`` is the position at which ``sigma_i`` was
+    inserted; inserting at ``j`` pushes previously inserted items at
+    positions ``>= j`` down by one.
+    """
+    n, m = trajectories.shape
+    positions = np.empty((n, m), dtype=np.int64)
+    for i in range(m):
+        inserted_at = trajectories[:, i]
+        if i:
+            earlier = positions[:, :i]
+            earlier += earlier >= inserted_at[:, None]
+        positions[:, i] = inserted_at
+    return positions
+
+
+def positions_to_trajectories(positions: np.ndarray) -> np.ndarray:
+    """Recover the unique insertion trajectories of a position batch.
+
+    ``j_i`` is the rank of ``sigma_i`` among the first ``i`` reference
+    items — the vectorized form of ``RIM.insertion_positions``.
+    """
+    n, m = positions.shape
+    trajectories = np.empty((n, m), dtype=np.int64)
+    for i in range(m):
+        trajectories[:, i] = 1 + np.sum(
+            positions[:, :i] < positions[:, i : i + 1], axis=1
+        )
+    return trajectories
+
+
+def rim_sample_positions(model, n: int, rng: np.random.Generator) -> np.ndarray:
+    """Draw ``n`` rankings from ``model`` as an ``(n, m)`` position matrix."""
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    tables = model_tables(model)
+    m = tables.m
+    uniforms = rng.random((n, m))
+    trajectories = np.empty((n, m), dtype=np.int64)
+    for i in range(1, m + 1):
+        trajectories[:, i - 1] = categorical_step(
+            tables.cumulative[i - 1], i, uniforms[:, i - 1]
+        )
+    return trajectories_to_positions(trajectories)
+
+
+def amp_sample_positions(
+    sampler, n: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Draw ``n`` constrained rankings from an AMP sampler, batched.
+
+    ``sampler`` is an :class:`~repro.rim.amp.AMPSampler`; its per-step
+    constraint index arrays (:meth:`~repro.rim.amp.AMPSampler.step_constraints`)
+    give, for each insertion step, the already-inserted ancestors and
+    descendants of the inserted item as reference-order indices.
+    """
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    model = sampler.model
+    tables = model_tables(model)
+    m = tables.m
+    ancestors, descendants = sampler.step_constraints()
+    uniforms = rng.random((n, m))
+    # positions[s, k]: current 1-based position of sigma_{k+1} among the
+    # items inserted so far (meaningful only for k < current step).
+    positions = np.zeros((n, m), dtype=np.int64)
+    for i in range(1, m + 1):
+        low, high = _feasible_range_batch(
+            positions, ancestors[i - 1], descendants[i - 1], i, n
+        )
+        inserted_at = constrained_categorical_step(
+            tables.cumulative[i - 1], i, low, high, uniforms[:, i - 1]
+        )
+        if i > 1:
+            earlier = positions[:, : i - 1]
+            earlier += earlier >= inserted_at[:, None]
+        positions[:, i - 1] = inserted_at
+    return positions
+
+
+def _feasible_range_batch(
+    positions: np.ndarray,
+    ancestor_indices: np.ndarray,
+    descendant_indices: np.ndarray,
+    i: int,
+    n: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Batched ``J = [low, high]`` feasible-range computation for step ``i``.
+
+    The index arrays only reference reference-order indices ``< i - 1``,
+    which are all inserted, so no presence masking is needed.
+    """
+    if ancestor_indices.size:
+        low = positions[:, ancestor_indices].max(axis=1) + 1
+    else:
+        low = np.ones(n, dtype=np.int64)
+    if descendant_indices.size:
+        high = positions[:, descendant_indices].min(axis=1)
+    else:
+        high = np.full(n, i, dtype=np.int64)
+    return low, high
+
+
+# ----------------------------------------------------------------------
+# Interop with the object-level API
+# ----------------------------------------------------------------------
+
+
+def positions_to_orders(positions: np.ndarray) -> np.ndarray:
+    """Reference-order indices by rank: ``orders[s, p]`` is the sigma index
+    of the item at 1-based position ``p + 1`` of sample ``s``."""
+    return np.argsort(positions, axis=1, kind="stable")
+
+
+def rankings_from_positions(model, positions: np.ndarray) -> list[Ranking]:
+    """Materialize a position batch as :class:`Ranking` objects."""
+    items = model.sigma.items
+    return [
+        Ranking(items[k] for k in row) for row in positions_to_orders(positions)
+    ]
+
+
+def reindex_permutation(from_model, to_model) -> np.ndarray:
+    """Column permutation re-expressing positions in another reference order.
+
+    ``positions[:, perm]`` maps a batch in ``from_model``'s sigma order to
+    ``to_model``'s sigma order (the two models must rank the same items —
+    e.g. MIS-AMP's recentered proposals versus the target model).
+    """
+    index = {item: k for k, item in enumerate(from_model.sigma.items)}
+    try:
+        return np.fromiter(
+            (index[item] for item in to_model.sigma.items),
+            dtype=np.int64,
+            count=len(index),
+        )
+    except KeyError as error:
+        raise ValueError(
+            f"models rank different item sets: {error} missing"
+        ) from None
+
+
+def reindex_positions(
+    positions: np.ndarray, from_model, to_model
+) -> np.ndarray:
+    """Re-express a position batch in ``to_model``'s reference order."""
+    if from_model is to_model:
+        return positions
+    return positions[:, reindex_permutation(from_model, to_model)]
+
+
+def positions_from_rankings(model, rankings) -> np.ndarray:
+    """Encode an iterable of rankings as a position matrix for ``model``."""
+    sigma_items = model.sigma.items
+    rows = [
+        [ranking.rank_of(item) for item in sigma_items] for ranking in rankings
+    ]
+    return np.asarray(rows, dtype=np.int64).reshape(len(rows), len(sigma_items))

@@ -96,13 +96,40 @@ def matches_union(ranking, union: PatternUnion, labeling: Labeling) -> bool:
     )
 
 
-def union_predicate(union: PatternUnion, labeling: Labeling):
-    """A ``ranking -> bool`` closure for Monte-Carlo estimators."""
+class UnionPredicate:
+    """``(tau, lambda) |= G`` as a predicate object for Monte-Carlo estimators.
 
-    def predicate(ranking) -> bool:
-        return matches_union(ranking, union, labeling)
+    Callable on a single :class:`Ranking` (the scalar reference path) and
+    batched over ``(n, m)`` position matrices via :meth:`many`, which the
+    estimators in :mod:`repro.rim.sampling` auto-detect.  The vectorized
+    matcher is compiled lazily per model and memoized for the (typical)
+    case of repeated batches against one model.
+    """
 
-    return predicate
+    def __init__(self, union: PatternUnion, labeling: Labeling):
+        self._union = union
+        self._labeling = labeling
+        self._compiled_model = None
+        self._compiled = None
+
+    def __call__(self, ranking) -> bool:
+        return matches_union(ranking, self._union, self._labeling)
+
+    def many(self, model, positions):
+        """Batched satisfaction over a position matrix (bool array)."""
+        from repro.kernels.predicates import CompiledUnionMatcher
+
+        if self._compiled_model is not model:
+            self._compiled = CompiledUnionMatcher(
+                model, self._union, self._labeling
+            )
+            self._compiled_model = model
+        return self._compiled(positions)
+
+
+def union_predicate(union: PatternUnion, labeling: Labeling) -> UnionPredicate:
+    """A ``ranking -> bool`` predicate (with a batched ``.many`` path)."""
+    return UnionPredicate(union, labeling)
 
 
 def enumerate_embeddings(

@@ -266,8 +266,15 @@ def _solve_single_model(
         return result.probability, result.solver
     if method == "rejection":
         n_samples = options.get("n_samples", 2000)
+        # union_predicate carries a batched `.many` path, so the estimate
+        # runs through the vectorized kernels unless explicitly disabled
+        # via the `vectorized=False` solver option.
         estimate = empirical_probability(
-            model, union_predicate(union, labeling), n_samples, rng
+            model,
+            union_predicate(union, labeling),
+            n_samples,
+            rng,
+            vectorized=options.get("vectorized"),
         )
         return estimate.estimate, "rejection"
     result = exact_solve(model, labeling, union, method=method, **options)

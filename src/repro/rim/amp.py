@@ -20,6 +20,13 @@ from typing import Hashable
 
 import numpy as np
 
+from repro.kernels.density import amp_log_probability_many
+from repro.kernels.precompute import model_tables
+from repro.kernels.sampling import (
+    amp_sample_positions,
+    constrained_categorical_step,
+    rankings_from_positions,
+)
 from repro.rankings.partial_order import CyclicOrderError, PartialOrder
 from repro.rankings.permutation import Ranking
 from repro.rankings.subranking import SubRanking
@@ -77,6 +84,7 @@ class AMPSampler:
         self._descendants = {
             item: closure.successors(item) for item in closure.items
         }
+        self._step_constraints: tuple[list, list] | None = None
 
     @property
     def model(self) -> RIM:
@@ -85,6 +93,44 @@ class AMPSampler:
     @property
     def constraint(self) -> PartialOrder:
         return self._constraint
+
+    def step_constraints(self) -> tuple[list, list]:
+        """Per-step constraint index arrays for the batched kernels.
+
+        For each insertion step ``i`` (0-based), two int64 arrays of
+        reference-order indices ``< i``: the already-inserted ancestors
+        (items that must precede ``sigma_{i+1}``) and descendants (items
+        that must follow it).  Memoized on the sampler.
+        """
+        if self._step_constraints is None:
+            sigma_index = {
+                item: k for k, item in enumerate(self._model.sigma.items)
+            }
+            ancestors: list = []
+            descendants: list = []
+            for i, item in enumerate(self._model.sigma):
+                ancestors.append(
+                    np.array(
+                        sorted(
+                            sigma_index[a]
+                            for a in self._ancestors.get(item, ())
+                            if sigma_index[a] < i
+                        ),
+                        dtype=np.int64,
+                    )
+                )
+                descendants.append(
+                    np.array(
+                        sorted(
+                            sigma_index[d]
+                            for d in self._descendants.get(item, ())
+                            if sigma_index[d] < i
+                        ),
+                        dtype=np.int64,
+                    )
+                )
+            self._step_constraints = (ancestors, descendants)
+        return self._step_constraints
 
     # ------------------------------------------------------------------
     # Internal: feasible insertion range
@@ -118,8 +164,16 @@ class AMPSampler:
     # ------------------------------------------------------------------
 
     def sample(self, rng: np.random.Generator) -> Ranking:
-        """Draw one ranking consistent with the constraint."""
-        pi = self._model.pi
+        """Draw one ranking consistent with the constraint.
+
+        Scalar reference of the batched kernel
+        (:func:`repro.kernels.sampling.amp_sample_positions`): one uniform
+        per step through the same constrained inverse-CDF (with the same
+        uniform fallback when the feasible range carries zero unconstrained
+        mass, e.g. phi=0 against a sigma-contradicting constraint), so a
+        fixed seed yields identical draws on both paths.
+        """
+        tables = model_tables(self._model)
         order: list[Item] = []
         positions: dict[Item, int] = {}
         for i, item in enumerate(self._model.sigma, start=1):
@@ -127,15 +181,15 @@ class AMPSampler:
             # The invariant low <= high holds because previously inserted
             # constrained items already respect the (transitively closed)
             # order, so every ancestor sits above every descendant.
-            weights = pi[i - 1, low - 1 : high]
-            total = weights.sum()
-            if total <= 0.0:
-                # All feasible positions have zero unconstrained mass (can
-                # happen for phi=0 with a constraint contradicting sigma).
-                # Fall back to the uniform choice over the feasible range.
-                j = int(rng.integers(low, high + 1))
-            else:
-                j = low + int(rng.choice(high - low + 1, p=weights / total))
+            j = int(
+                constrained_categorical_step(
+                    tables.cumulative[i - 1],
+                    i,
+                    np.array([low]),
+                    np.array([high]),
+                    np.array([rng.random()]),
+                )[0]
+            )
             order.insert(j - 1, item)
             for other in positions:
                 if positions[other] >= j:
@@ -143,9 +197,23 @@ class AMPSampler:
             positions[item] = j
         return Ranking(order)
 
-    def sample_many(self, n: int, rng: np.random.Generator) -> list[Ranking]:
-        """Draw ``n`` independent constrained rankings."""
-        return [self.sample(rng) for _ in range(n)]
+    def sample_many(
+        self, n: int, rng: np.random.Generator, *, vectorized: bool = True
+    ) -> list[Ranking]:
+        """Draw ``n`` independent constrained rankings.
+
+        ``vectorized=False`` selects the scalar reference loop; both paths
+        produce identical rankings for a fixed seed.
+        """
+        if not vectorized:
+            return [self.sample(rng) for _ in range(n)]
+        return rankings_from_positions(
+            self._model, self.sample_positions(n, rng)
+        )
+
+    def sample_positions(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw ``n`` constrained rankings as an ``(n, m)`` position matrix."""
+        return amp_sample_positions(self, n, rng)
 
     # ------------------------------------------------------------------
     # Exact proposal density
@@ -187,3 +255,11 @@ class AMPSampler:
         """Exact probability that AMP generates ``tau``."""
         log_q = self.log_probability(tau)
         return 0.0 if log_q == -math.inf else math.exp(log_q)
+
+    def log_probability_many(self, positions: np.ndarray) -> np.ndarray:
+        """Batched exact proposal log-densities over a position matrix.
+
+        The array analogue of :meth:`log_probability` (``-inf`` for
+        constraint-violating samples); see :mod:`repro.kernels.density`.
+        """
+        return amp_log_probability_many(self, positions)

@@ -16,6 +16,8 @@ from typing import Hashable, Sequence
 
 import numpy as np
 
+from repro.kernels.density import mallows_log_probability_many
+from repro.kernels.precompute import mallows_log_z, mallows_matrix
 from repro.rankings.kendall import kendall_tau
 from repro.rankings.permutation import Ranking
 from repro.rim.model import RIM
@@ -29,18 +31,12 @@ def mallows_insertion_matrix(m: int, phi: float) -> np.ndarray:
     Row ``i - 1`` holds ``Pi(i, j) = phi^{i-j} / sum_{k=1..i} phi^{i-k}``
     for ``j = 1..i``.  For ``phi = 0`` the model is degenerate at ``sigma``
     (``Pi(i, i) = 1``); for ``phi = 1`` it is the uniform distribution.
+
+    Construction is vectorized and memoized by ``(m, phi)``
+    (:func:`repro.kernels.precompute.mallows_matrix`); the returned array
+    is a fresh writable copy.
     """
-    if not 0.0 <= phi <= 1.0:
-        raise ValueError(f"phi must be in [0, 1], got {phi}")
-    pi = np.zeros((m, m), dtype=float)
-    for i in range(1, m + 1):
-        if phi == 0.0:
-            pi[i - 1, i - 1] = 1.0
-            continue
-        exponents = np.arange(i - 1, -1, -1, dtype=float)  # i-j for j=1..i
-        weights = phi**exponents
-        pi[i - 1, :i] = weights / weights.sum()
-    return pi
+    return mallows_matrix(m, phi).copy()
 
 
 def mallows_normalization(m: int, phi: float) -> float:
@@ -71,22 +67,17 @@ class Mallows(RIM):
 
     def __init__(self, sigma, phi: float):
         sigma_ranking = sigma if isinstance(sigma, Ranking) else Ranking(sigma)
+        # The memoized (m, phi) matrix is valid by construction, so the
+        # stochasticity re-validation of RIM.__init__ is skipped; distinct
+        # same-parameter instances (e.g. MIS-AMP's recentered proposals)
+        # share one matrix and one log Z.
         super().__init__(
-            sigma_ranking, mallows_insertion_matrix(len(sigma_ranking), phi)
+            sigma_ranking,
+            mallows_matrix(len(sigma_ranking), phi),
+            _validate=False,
         )
         self._phi = float(phi)
-        self._log_z = self._compute_log_z()
-
-    def _compute_log_z(self) -> float:
-        log_z = 0.0
-        for i in range(1, self.m + 1):
-            if self._phi == 1.0:
-                log_z += math.log(i)
-            elif self._phi == 0.0:
-                log_z += 0.0  # each factor is 1
-            else:
-                log_z += math.log((1.0 - self._phi**i) / (1.0 - self._phi))
-        return log_z
+        self._log_z = mallows_log_z(self.m, self._phi)
 
     @property
     def phi(self) -> float:
@@ -97,6 +88,11 @@ class Mallows(RIM):
     def normalization(self) -> float:
         """The partition function ``Z(phi, m)``."""
         return math.exp(self._log_z)
+
+    @property
+    def log_normalization(self) -> float:
+        """``log Z(phi, m)`` (memoized by ``(m, phi)``)."""
+        return self._log_z
 
     def __repr__(self) -> str:
         return f"Mallows(m={self.m}, phi={self._phi}, sigma={list(self.sigma.items)!r})"
@@ -131,6 +127,15 @@ class Mallows(RIM):
         if self._phi == 0.0:
             return 1.0 if d == 0 else 0.0
         return self._phi**d / self.normalization
+
+    def log_probability_many(self, positions: np.ndarray) -> np.ndarray:
+        """Batched closed-form log-densities: vectorized Kendall-tau pass.
+
+        Overrides the trajectory-product kernel of :class:`RIM` with the
+        ``d * log(phi) - log Z`` form evaluated over the whole position
+        matrix at once (:mod:`repro.kernels.density`).
+        """
+        return mallows_log_probability_many(self, positions)
 
     def probability_of_distance(self, d: int) -> float:
         """``phi^d / Z`` — the shared probability of all rankings at distance ``d``."""

@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from typing import Hashable
 
+import numpy as np
+
 from repro.patterns.labels import Labeling
 from repro.patterns.pattern import LabelPattern, PatternNode
 from repro.solvers.two_label import two_label_probability
@@ -74,10 +76,20 @@ def rank_distribution(model, item: Item, n_samples: int = 0, rng=None) -> list[f
     if n_samples > 0:
         if rng is None:
             raise ValueError("sampling a rank distribution requires an rng")
-        counts = [0] * m
+        if hasattr(model, "sample_positions"):
+            # Batched draw through the kernel layer; the per-item ranks are
+            # a column of the position matrix, so the histogram is one
+            # bincount.
+            positions = model.sample_positions(n_samples, rng)
+            counts = np.bincount(
+                positions[:, items.index(item)] - 1, minlength=m
+            )
+            return [int(c) / n_samples for c in counts]
+        # Models exposing only sample() (mixtures, Plackett-Luce).
+        tallies = [0] * m
         for _ in range(n_samples):
-            counts[model.sample(rng).rank_of(item) - 1] += 1
-        return [c / n_samples for c in counts]
+            tallies[model.sample(rng).rank_of(item) - 1] += 1
+        return [c / n_samples for c in tallies]
 
     pi = model.pi
     target_step = items.index(item) + 1

@@ -17,6 +17,13 @@ from typing import Hashable, Iterator, Sequence
 
 import numpy as np
 
+from repro.kernels.density import rim_log_probability_many
+from repro.kernels.precompute import model_tables
+from repro.kernels.sampling import (
+    categorical_step,
+    rankings_from_positions,
+    rim_sample_positions,
+)
 from repro.rankings.permutation import Ranking
 
 Item = Hashable
@@ -48,30 +55,47 @@ class RIM:
     items in ``tau`` is the insertion position ``j`` that produced it.
     """
 
-    def __init__(self, sigma, pi):
+    def __init__(self, sigma, pi, *, _validate: bool = True):
         self._sigma = sigma if isinstance(sigma, Ranking) else Ranking(sigma)
         m = len(self._sigma)
-        matrix = np.zeros((m, m), dtype=float)
         pi_array = np.asarray(pi, dtype=float)
         if pi_array.shape != (m, m):
             raise ValueError(
                 f"pi must have shape ({m}, {m}), got {pi_array.shape}"
             )
-        matrix[:, :] = pi_array
-        for i in range(1, m + 1):
-            row = matrix[i - 1]
-            if np.any(row[:i] < -_ROW_SUM_TOLERANCE):
-                raise ValueError(f"negative insertion probability in row {i}")
-            if abs(row[:i].sum() - 1.0) > 1e-6:
-                raise ValueError(
-                    f"row {i} of pi sums to {row[:i].sum():.9f}, expected 1"
-                )
-            if np.any(np.abs(row[i:]) > _ROW_SUM_TOLERANCE):
-                raise ValueError(
-                    f"row {i} of pi has mass beyond position {i}"
-                )
+        # A read-only, data-owning input (e.g. the memoized Mallows
+        # parameter matrix, shared across same-(m, phi) instances) is
+        # aliased, not copied.  A read-only *view* is still copied: its
+        # writable base could mutate pi after construction, breaking the
+        # frozen-at-construction invariant the precompute caching rests on.
+        owns_frozen_data = not pi_array.flags.writeable and pi_array.base is None
+        matrix = pi_array if owns_frozen_data else pi_array.copy()
+        if _validate:
+            self._validate_matrix(matrix, m)
         self._pi = matrix
-        self._pi.setflags(write=False)
+        if self._pi.flags.writeable:
+            self._pi.setflags(write=False)
+
+    @staticmethod
+    def _validate_matrix(matrix: np.ndarray, m: int) -> None:
+        """Whole-matrix stochasticity checks (no per-row Python loop)."""
+        in_row = np.tril(np.ones((m, m), dtype=bool))
+        if np.any(matrix[in_row] < -_ROW_SUM_TOLERANCE):
+            row = int(np.where((matrix < -_ROW_SUM_TOLERANCE) & in_row)[0][0]) + 1
+            raise ValueError(f"negative insertion probability in row {row}")
+        row_sums = np.sum(matrix, axis=1, where=in_row)
+        bad_sums = np.abs(row_sums - 1.0) > 1e-6
+        if np.any(bad_sums):
+            row = int(np.argmax(bad_sums)) + 1
+            raise ValueError(
+                f"row {row} of pi sums to {row_sums[row - 1]:.9f}, expected 1"
+            )
+        beyond = (np.abs(matrix) > _ROW_SUM_TOLERANCE) & ~in_row
+        if np.any(beyond):
+            row = int(np.where(beyond)[0][0]) + 1
+            raise ValueError(
+                f"row {row} of pi has mass beyond position {row}"
+            )
 
     # ------------------------------------------------------------------
     # Accessors
@@ -122,17 +146,43 @@ class RIM:
     # ------------------------------------------------------------------
 
     def sample(self, rng: np.random.Generator) -> Ranking:
-        """Draw one ranking via Algorithm 1 (repeated insertion)."""
+        """Draw one ranking via Algorithm 1 (repeated insertion).
+
+        This is the scalar reference implementation of the batched kernel
+        (:func:`repro.kernels.sampling.rim_sample_positions`): each step
+        consumes exactly one uniform and maps it through the same
+        inverse-CDF arithmetic, so a fixed seed yields identical draws on
+        both paths.
+        """
+        tables = model_tables(self)
         order: list[Item] = []
         for i, item in enumerate(self._sigma, start=1):
-            weights = self._pi[i - 1, :i]
-            j = int(rng.choice(i, p=weights)) + 1
+            u = np.array([rng.random()])
+            j = int(categorical_step(tables.cumulative[i - 1], i, u)[0])
             order.insert(j - 1, item)
         return Ranking(order)
 
-    def sample_many(self, n: int, rng: np.random.Generator) -> list[Ranking]:
-        """Draw ``n`` independent rankings."""
-        return [self.sample(rng) for _ in range(n)]
+    def sample_many(
+        self, n: int, rng: np.random.Generator, *, vectorized: bool = True
+    ) -> list[Ranking]:
+        """Draw ``n`` independent rankings.
+
+        ``vectorized=True`` (the default) draws the whole batch through the
+        kernel layer; ``vectorized=False`` is the scalar reference loop.
+        Both produce identical rankings for a fixed seed.
+        """
+        if not vectorized:
+            return [self.sample(rng) for _ in range(n)]
+        return rankings_from_positions(self, self.sample_positions(n, rng))
+
+    def sample_positions(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw ``n`` rankings as an ``(n, m)`` position matrix.
+
+        ``result[s, k]`` is the 1-based rank of ``sigma_{k+1}`` in sample
+        ``s`` — the native representation of the batched estimators (see
+        :mod:`repro.kernels.sampling`).
+        """
+        return rim_sample_positions(self, n, rng)
 
     def insertion_positions(self, tau: Ranking) -> list[int]:
         """Recover the unique insertion trajectory producing ``tau``.
@@ -170,6 +220,14 @@ class RIM:
             if prob == 0.0:
                 return 0.0
         return prob
+
+    def log_probability_many(self, positions: np.ndarray) -> np.ndarray:
+        """Batched exact log-probabilities of an ``(n, m)`` position matrix.
+
+        The array analogue of :meth:`log_probability`; see
+        :mod:`repro.kernels.density`.
+        """
+        return rim_log_probability_many(self, positions)
 
     # ------------------------------------------------------------------
     # Exhaustive enumeration (for validation)

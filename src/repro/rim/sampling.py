@@ -5,6 +5,16 @@ satisfying ``G``.  Section 5.1 of the paper notes that RS is practical for
 likely events but needs exponentially many samples for rare ones — the
 comparison reproduced by the Figure 9 benchmark via
 :func:`rejection_until_within`.
+
+Both estimators run **batched** by default: samples are drawn as position
+matrices through the kernel layer (:mod:`repro.kernels.sampling`) and the
+predicate is evaluated on the whole batch in one array pass, provided the
+predicate exposes a vectorized ``many(model, positions)`` method (see
+:func:`repro.patterns.matching.union_predicate` and
+:func:`repro.kernels.predicates.subranking_satisfied_many`).  The scalar
+per-:class:`Ranking` path remains the reference implementation
+(``vectorized=False``); both paths consume the RNG identically, so fixed
+seeds produce identical estimates.
 """
 
 from __future__ import annotations
@@ -15,6 +25,9 @@ from typing import Callable
 import numpy as np
 
 from repro.rankings.permutation import Ranking
+
+#: Samples drawn per kernel call by the batched estimator paths.
+DEFAULT_BATCH_SIZE = 8192
 
 
 @dataclass(frozen=True)
@@ -30,19 +43,52 @@ class EstimateResult:
         return self.n_hits / self.n_samples if self.n_samples else 0.0
 
 
+def _supports_batched(model, predicate) -> bool:
+    return hasattr(predicate, "many") and hasattr(model, "sample_positions")
+
+
+def _resolve_vectorized(model, predicate, vectorized: bool | None) -> bool:
+    """Auto-detect (None) or validate (True) the batched estimation path."""
+    if vectorized is None:
+        return _supports_batched(model, predicate)
+    if vectorized and not _supports_batched(model, predicate):
+        raise TypeError(
+            "vectorized estimation requires a predicate with a "
+            "many(model, positions) method and a model with sample_positions"
+        )
+    return vectorized
+
+
 def empirical_probability(
     model,
     predicate: Callable[[Ranking], bool],
     n_samples: int,
     rng: np.random.Generator,
+    *,
+    vectorized: bool | None = None,
+    batch_size: int = DEFAULT_BATCH_SIZE,
 ) -> EstimateResult:
-    """Plain rejection-sampling estimate of ``Pr(predicate)`` under ``model``."""
+    """Plain rejection-sampling estimate of ``Pr(predicate)`` under ``model``.
+
+    ``vectorized=None`` (the default) auto-selects the batched kernel path
+    when the predicate supports it; ``False`` forces the scalar reference
+    loop.  Fixed seeds yield identical estimates on both paths.
+    """
     if n_samples <= 0:
         raise ValueError("n_samples must be positive")
+    vectorized = _resolve_vectorized(model, predicate, vectorized)
     hits = 0
-    for _ in range(n_samples):
-        if predicate(model.sample(rng)):
-            hits += 1
+    if vectorized:
+        drawn = 0
+        while drawn < n_samples:
+            batch = min(batch_size, n_samples - drawn)
+            positions = model.sample_positions(batch, rng)
+            hits += int(np.count_nonzero(predicate.many(model, positions)))
+            drawn += batch
+    else:
+        for _ in range(n_samples):
+            if predicate(model.sample(rng)):
+                hits += 1
     return EstimateResult(hits / n_samples, n_samples, hits)
 
 
@@ -51,9 +97,10 @@ def rejection_estimate(
     predicate: Callable[[Ranking], bool],
     n_samples: int,
     rng: np.random.Generator,
+    **kwargs,
 ) -> EstimateResult:
     """Alias of :func:`empirical_probability`, named for the paper's RS solver."""
-    return empirical_probability(model, predicate, n_samples, rng)
+    return empirical_probability(model, predicate, n_samples, rng, **kwargs)
 
 
 def rejection_until_within(
@@ -64,6 +111,8 @@ def rejection_until_within(
     rng: np.random.Generator,
     max_samples: int = 10_000_000,
     check_every: int = 100,
+    *,
+    vectorized: bool | None = None,
 ) -> EstimateResult:
     """Run RS until the running estimate is within ``relative_tolerance`` of truth.
 
@@ -71,17 +120,52 @@ def rejection_until_within(
     experiment: RS stops as soon as its estimate is within 1% relative error
     of a pre-computed exact value — a lower bound on the real cost of RS,
     since a real deployment could not detect convergence this way.
+
+    The estimate is checked every ``check_every`` samples; the batched path
+    draws exactly one ``check_every``-sized batch per check, so scalar and
+    vectorized runs stop at the same sample count for a fixed seed.
+
+    An ``exact_value`` of zero short-circuits at the first check: the only
+    estimate within any relative tolerance of zero is zero itself, so the
+    run stops as soon as the estimate is exactly right (no hits) — or, if a
+    hit has occurred, as soon as convergence has become impossible — instead
+    of silently burning all ``max_samples``.
     """
     if exact_value < 0:
         raise ValueError("exact_value must be non-negative")
-    hits = 0
-    for n in range(1, max_samples + 1):
-        if predicate(model.sample(rng)):
-            hits += 1
-        if n % check_every == 0 and hits > 0:
+    vectorized = _resolve_vectorized(model, predicate, vectorized)
+
+    def outcome(hits: int, n: int) -> EstimateResult | None:
+        """The stopping decision at a ``check_every`` boundary."""
+        if exact_value == 0.0:
+            # Converged when the estimate is exactly zero; doomed otherwise
+            # (a positive estimate can never re-enter any relative
+            # tolerance of zero).  Either way, stop.
+            return EstimateResult(hits / n, n, hits)
+        if hits > 0:
             estimate = hits / n
-            if exact_value == 0.0:
-                continue
             if abs(estimate - exact_value) / exact_value <= relative_tolerance:
                 return EstimateResult(estimate, n, hits)
+        return None
+
+    hits = 0
+    if vectorized:
+        drawn = 0
+        while drawn < max_samples:
+            batch = min(check_every, max_samples - drawn)
+            positions = model.sample_positions(batch, rng)
+            hits += int(np.count_nonzero(predicate.many(model, positions)))
+            drawn += batch
+            if drawn % check_every == 0:
+                result = outcome(hits, drawn)
+                if result is not None:
+                    return result
+    else:
+        for n in range(1, max_samples + 1):
+            if predicate(model.sample(rng)):
+                hits += 1
+            if n % check_every == 0:
+                result = outcome(hits, n)
+                if result is not None:
+                    return result
     return EstimateResult(hits / max_samples, max_samples, hits)

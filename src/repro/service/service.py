@@ -14,11 +14,13 @@ and generalizes the paper's within-query identical-request grouping
   them on a configurable ``concurrent.futures`` worker pool, and only then
   assembles per-query results with cache/timing metadata.
 
-The solvers are pure Python, so the thread pool mostly helps when solves
-release the GIL (NumPy-heavy paths) or when the caller overlaps batches;
-the architectural point is that distinct solves are an explicit, schedulable
-work list rather than an accident of per-query iteration.  See DESIGN.md,
-"The service layer".
+The solver DPs are Python loops over memoized NumPy tables
+(:mod:`repro.kernels.precompute`), so the thread pool mostly helps when
+solves release the GIL or when the caller overlaps batches; the
+architectural point is that distinct solves are an explicit, schedulable
+work list rather than an accident of per-query iteration.  Sampling-method
+requests run through the batched kernels of :mod:`repro.kernels` (DESIGN.md
+Section 7) by default.  See DESIGN.md, "The service layer".
 """
 
 from __future__ import annotations
@@ -191,7 +193,10 @@ class PreferenceService:
         exactly (same aggregation, same clamping); the batch metadata
         reports how much work the grouping and the cache saved.  Sampling
         methods (``mis_amp_*``, ``rejection``) are rng-driven and
-        non-cacheable, so they fall back to sequential evaluation.
+        non-cacheable, so they fall back to sequential evaluation — each
+        solve still draws and weighs its samples through the vectorized
+        kernel layer (:mod:`repro.kernels`) unless ``vectorized=False`` is
+        passed as a solver option.
         """
         started = time.perf_counter()
         method = method or self.method

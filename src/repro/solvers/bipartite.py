@@ -29,8 +29,7 @@ from __future__ import annotations
 
 import time
 
-import numpy as np
-
+from repro.kernels.precompute import model_tables
 from repro.patterns.labels import Labeling
 from repro.solvers.base import (
     SolverResult,
@@ -128,7 +127,8 @@ def _basic_dp(
     model, union, pattern_edges, serves_left, serves_right,
     n_left, n_right, merge_gaps, time_budget, started,
 ) -> SolverResult:
-    pi = model.pi
+    tables = model_tables(model)
+    pi = tables.pi
     initial = (tuple([None] * n_left), tuple([None] * n_right))
     states: dict[tuple, float] = {initial: 1.0}
     peak_states = 1
@@ -142,7 +142,7 @@ def _basic_dp(
         new_states: dict[tuple, float] = {}
 
         if not sl and not sr and merge_gaps:
-            prefix = np.concatenate(([0.0], np.cumsum(row[:i])))
+            prefix = tables.cumulative[i - 1]
             for (alpha, beta), prob in states.items():
                 tracked = sorted(
                     {p for p in alpha if p is not None}
@@ -239,7 +239,8 @@ def _pruned_dp(
     last_left, last_right, n_left, n_right,
     merge_gaps, time_budget, started,
 ) -> SolverResult:
-    pi = model.pi
+    tables = model_tables(model)
+    pi = tables.pi
     m = model.m
 
     # Pre-resolve edges that can never be satisfied: an endpoint with no
@@ -297,7 +298,7 @@ def _pruned_dp(
             # Non-serving step: positions shift; edge statuses cannot change
             # (shifts preserve both satisfaction and violation, and closures
             # only happen on serving steps).
-            prefix = np.concatenate(([0.0], np.cumsum(row[:i])))
+            prefix = tables.cumulative[i - 1]
             for (status, alpha, beta), prob in states.items():
                 tracked = sorted(
                     {p for p in alpha if p is not None}

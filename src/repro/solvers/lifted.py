@@ -32,8 +32,7 @@ from __future__ import annotations
 import time
 from typing import Hashable
 
-import numpy as np
-
+from repro.kernels.precompute import model_tables
 from repro.patterns.labels import Labeling
 from repro.patterns.matching import match_served_sequence
 from repro.solvers.base import SolverResult, SolverTimeout, as_union
@@ -136,7 +135,8 @@ def lifted_probability(
         return True
 
     # --- The DP ----------------------------------------------------------
-    pi = model.pi
+    tables = model_tables(model)
+    pi = tables.pi
     states: dict[_State, float] = {(): 1.0}
     absorbed = 0.0
     peak_states = 1
@@ -152,7 +152,7 @@ def lifted_probability(
         if sid is None:
             # Irrelevant item: positions shift, match status cannot change.
             if merge_gaps:
-                prefix = np.concatenate(([0.0], np.cumsum(row[:i])))
+                prefix = tables.cumulative[i - 1]
                 for state, prob in states.items():
                     positions = [p for p, _ in state]
                     boundaries = [0] + positions + [i]

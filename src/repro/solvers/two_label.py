@@ -19,8 +19,7 @@ from __future__ import annotations
 
 import time
 
-import numpy as np
-
+from repro.kernels.precompute import model_tables
 from repro.patterns.labels import Labeling
 from repro.solvers.base import (
     SolverResult,
@@ -97,7 +96,8 @@ def two_label_probability(
     # ------------------------------------------------------------------
     # DP over insertions
     # ------------------------------------------------------------------
-    pi = model.pi
+    tables = model_tables(model)
+    pi = tables.pi
     initial = (
         tuple([None] * len(left_sets)),
         tuple([None] * len(right_sets)),
@@ -117,7 +117,7 @@ def two_label_probability(
             # Non-serving item: alpha/beta only shift, and a violating state
             # cannot become satisfying (shifts preserve alpha >= beta), so
             # whole gaps between tracked positions collapse to one branch.
-            prefix = np.concatenate(([0.0], np.cumsum(row[:i])))
+            prefix = tables.cumulative[i - 1]
             for (alpha, beta), prob in states.items():
                 tracked = sorted(
                     {p for p in alpha if p is not None}

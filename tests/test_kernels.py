@@ -1,0 +1,563 @@
+"""The kernel layer: seeded scalar/vectorized equivalence and properties.
+
+DESIGN.md Section 7's contract is that every batched kernel reproduces its
+scalar reference exactly: identical draws under a fixed seed (both paths
+consume one uniform per (sample, step) through the same inverse-CDF
+arithmetic), densities equal to within float round-off, and predicate
+decisions identical ranking-by-ranking.  These tests pin that contract,
+plus distributional properties (batched marginals match scalar sampling
+frequencies and exact enumeration) and the memoized-precompute semantics.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.approx.is_amp import is_amp_estimate
+from repro.approx.lite import mis_amp_lite
+from repro.approx.mis import balance_heuristic_estimate, mis_amp_estimate
+from repro.kernels import (
+    CompiledUnionMatcher,
+    kendall_tau_many,
+    memoization_disabled,
+    model_tables,
+    positions_from_rankings,
+    rankings_from_positions,
+    reindex_positions,
+    subranking_predicate,
+    union_satisfied_many,
+)
+from repro.kernels.precompute import mallows_log_z, mallows_matrix
+from repro.kernels.sampling import (
+    positions_to_trajectories,
+    trajectories_to_positions,
+)
+from repro.patterns.labels import Labeling
+from repro.patterns.matching import matches_union, union_predicate
+from repro.patterns.pattern import LabelPattern, node
+from repro.patterns.union import PatternUnion
+from repro.rankings.kendall import kendall_tau
+from repro.rankings.partial_order import PartialOrder
+from repro.rankings.permutation import Ranking
+from repro.rankings.subranking import SubRanking
+from repro.rim.amp import AMPSampler
+from repro.rim.mallows import Mallows, mallows_insertion_matrix
+from repro.rim.model import RIM
+from repro.rim.sampling import (
+    empirical_probability,
+    rejection_until_within,
+)
+
+
+def geometric_rim(m: int, decay: float) -> RIM:
+    pi = np.zeros((m, m))
+    for i in range(1, m + 1):
+        weights = decay ** np.arange(i, dtype=float)
+        pi[i - 1, :i] = weights / weights.sum()
+    return RIM(list(range(m)), pi)
+
+
+class TestSeededSamplerEquivalence:
+    @pytest.mark.parametrize("phi", [0.0, 0.2, 0.7, 1.0])
+    def test_mallows_sample_many_matches_scalar(self, phi):
+        model = Mallows(list(range(7)), phi)
+        scalar = model.sample_many(
+            60, np.random.default_rng(11), vectorized=False
+        )
+        batched = model.sample_many(60, np.random.default_rng(11))
+        assert scalar == batched
+
+    def test_generic_rim_sample_many_matches_scalar(self):
+        model = geometric_rim(6, 0.5)
+        scalar = model.sample_many(
+            50, np.random.default_rng(5), vectorized=False
+        )
+        batched = model.sample_many(50, np.random.default_rng(5))
+        assert scalar == batched
+
+    @pytest.mark.parametrize("phi", [0.0, 0.4, 1.0])
+    def test_amp_sample_many_matches_scalar(self, phi):
+        model = Mallows(list(range(7)), phi)
+        sampler = AMPSampler(model, PartialOrder([(6, 0), (4, 1), (3, 2)]))
+        scalar = sampler.sample_many(
+            60, np.random.default_rng(3), vectorized=False
+        )
+        batched = sampler.sample_many(60, np.random.default_rng(3))
+        assert scalar == batched
+
+    def test_amp_zero_mass_fallback_matches_scalar(self):
+        # phi = 0 with a sigma-contradicting constraint exercises the
+        # uniform fallback on both paths.
+        model = Mallows(list(range(5)), 0.0)
+        sampler = AMPSampler(model, PartialOrder([(4, 0), (3, 1)]))
+        scalar = sampler.sample_many(
+            40, np.random.default_rng(8), vectorized=False
+        )
+        batched = sampler.sample_many(40, np.random.default_rng(8))
+        assert scalar == batched
+
+    def test_position_matrix_shape_and_validity(self):
+        model = Mallows(list(range(9)), 0.5)
+        positions = model.sample_positions(25, np.random.default_rng(0))
+        assert positions.shape == (25, 9)
+        # every row is a permutation of 1..m
+        assert (np.sort(positions, axis=1) == np.arange(1, 10)).all()
+
+
+class TestTrajectoryRoundTrip:
+    def test_positions_to_trajectories_inverts(self, rng):
+        model = Mallows(list(range(8)), 0.6)
+        positions = model.sample_positions(40, rng)
+        recovered = trajectories_to_positions(
+            positions_to_trajectories(positions)
+        )
+        assert (recovered == positions).all()
+
+    def test_trajectories_match_scalar_insertion_positions(self, rng):
+        model = geometric_rim(6, 0.4)
+        positions = model.sample_positions(30, rng)
+        trajectories = positions_to_trajectories(positions)
+        for row, tau in zip(
+            trajectories, rankings_from_positions(model, positions)
+        ):
+            assert list(row) == model.insertion_positions(tau)
+
+
+class TestDensityKernels:
+    def test_rim_log_probability_many_matches_scalar(self, rng):
+        model = geometric_rim(7, 0.5)
+        positions = model.sample_positions(80, rng)
+        batched = model.log_probability_many(positions)
+        for value, tau in zip(
+            batched, rankings_from_positions(model, positions)
+        ):
+            # RIM.log_probability on a non-Mallows model is the trajectory
+            # product the kernel vectorizes.
+            assert value == pytest.approx(model.log_probability(tau), abs=1e-12)
+
+    @pytest.mark.parametrize("phi", [0.0, 0.3, 1.0])
+    def test_mallows_log_probability_many_matches_scalar(self, phi, rng):
+        model = Mallows(list(range(7)), phi)
+        positions = model.sample_positions(80, rng)
+        batched = model.log_probability_many(positions)
+        for value, tau in zip(
+            batched, rankings_from_positions(model, positions)
+        ):
+            scalar = model.log_probability(tau)
+            if math.isinf(scalar):
+                assert np.isneginf(value)
+            else:
+                assert value == pytest.approx(scalar, abs=1e-12)
+
+    def test_amp_log_probability_many_matches_scalar(self, rng):
+        model = Mallows(list(range(6)), 0.45)
+        sampler = AMPSampler(model, SubRanking([5, 2, 0]))
+        positions = sampler.sample_positions(80, rng)
+        batched = sampler.log_probability_many(positions)
+        for value, tau in zip(
+            batched, rankings_from_positions(model, positions)
+        ):
+            assert value == pytest.approx(
+                sampler.log_probability(tau), abs=1e-12
+            )
+
+    def test_amp_log_probability_many_violations_are_neginf(self):
+        model = Mallows(list(range(5)), 0.5)
+        sampler = AMPSampler(model, PartialOrder([(4, 0)]))
+        violating = Ranking([0, 1, 2, 3, 4])
+        positions = positions_from_rankings(model, [violating])
+        assert np.isneginf(sampler.log_probability_many(positions))[0]
+
+    def test_kendall_tau_many_matches_pairwise(self, rng):
+        model = Mallows(list(range(10)), 0.8)
+        positions = model.sample_positions(60, rng)
+        batched = kendall_tau_many(positions, chunk=7)  # force chunking
+        for d, tau in zip(batched, rankings_from_positions(model, positions)):
+            assert d == kendall_tau(model.sigma, tau)
+
+    def test_reindex_positions_between_centers(self, rng):
+        model = Mallows(list(range(6)), 0.4)
+        other = model.recenter(Ranking([3, 1, 5, 0, 2, 4]))
+        positions = model.sample_positions(40, rng)
+        rankings = rankings_from_positions(model, positions)
+        reindexed = reindex_positions(positions, model, other)
+        assert (
+            reindexed == positions_from_rankings(other, rankings)
+        ).all()
+        batched = other.log_probability_many(reindexed)
+        for value, tau in zip(batched, rankings):
+            assert value == pytest.approx(
+                other.log_probability(tau), abs=1e-12
+            )
+
+
+class TestPredicateKernels:
+    def test_union_matcher_matches_scalar(self, rng):
+        model = Mallows(list(range(6)), 1.0)
+        labeling = Labeling(
+            {0: {"A"}, 1: {"B"}, 2: {"A", "C"}, 3: {"C"}, 4: {"B"}, 5: set()}
+        )
+        union = PatternUnion(
+            [
+                LabelPattern([(node("c", "C"), node("a", "A"))]),
+                LabelPattern(
+                    [
+                        (node("b", "B"), node("a2", "A")),
+                        (node("a2", "A"), node("c2", "C")),
+                    ]
+                ),
+            ]
+        )
+        positions = model.sample_positions(120, rng)
+        batched = union_satisfied_many(model, union, labeling, positions)
+        for decision, tau in zip(
+            batched, rankings_from_positions(model, positions)
+        ):
+            assert bool(decision) == matches_union(tau, union, labeling)
+
+    def test_unservable_node_never_matches(self, rng):
+        model = Mallows(list(range(4)), 1.0)
+        labeling = Labeling({0: {"A"}, 1: set(), 2: set(), 3: set()})
+        pattern = LabelPattern([(node("a", "A"), node("z", "Z"))])
+        positions = model.sample_positions(10, rng)
+        assert not union_satisfied_many(
+            model, pattern, labeling, positions
+        ).any()
+
+    def test_subranking_predicate_matches_scalar(self, rng):
+        model = Mallows(list(range(7)), 0.9)
+        psi = SubRanking([6, 3, 0])
+        predicate = subranking_predicate(psi)
+        positions = model.sample_positions(100, rng)
+        batched = predicate.many(model, positions)
+        for decision, tau in zip(
+            batched, rankings_from_positions(model, positions)
+        ):
+            assert bool(decision) == psi.is_consistent_with(tau)
+            assert bool(decision) == predicate(tau)
+
+    def test_union_predicate_recompiles_per_model(self, rng):
+        # One predicate reused across many short-lived models must always
+        # match the scalar semantics (regression: an id()-keyed memo could
+        # serve a stale compiled matcher after address reuse).
+        labeling = Labeling({k: {"A"} if k % 2 else {"B"} for k in range(5)})
+        union = PatternUnion([LabelPattern([(node("a", "A"), node("b", "B"))])])
+        predicate = union_predicate(union, labeling)
+        base = list(range(5))
+        for trial in range(30):
+            center = list(np.random.default_rng(trial).permutation(base))
+            model = Mallows(center, 0.8)
+            positions = model.sample_positions(50, rng)
+            batched = predicate.many(model, positions)
+            for decision, tau in zip(
+                batched, rankings_from_positions(model, positions)
+            ):
+                assert bool(decision) == matches_union(tau, union, labeling)
+
+    def test_compiled_matcher_reused_across_batches(self, rng):
+        model = Mallows(list(range(5)), 1.0)
+        labeling = Labeling({k: {"A"} if k % 2 else {"B"} for k in range(5)})
+        union = PatternUnion([LabelPattern([(node("a", "A"), node("b", "B"))])])
+        matcher = CompiledUnionMatcher(model, union, labeling)
+        first = matcher(model.sample_positions(20, rng))
+        second = matcher(model.sample_positions(20, rng))
+        assert first.shape == second.shape == (20,)
+
+
+class TestSeededEstimatorEquivalence:
+    def test_empirical_probability_identical(self):
+        model = Mallows(list(range(8)), 0.6)
+        labeling = Labeling({k: {"L"} if k < 2 else {"R"} for k in range(8)})
+        pattern = LabelPattern([(node("r", "R"), node("l", "L"))])
+        predicate = union_predicate(PatternUnion([pattern]), labeling)
+        scalar = empirical_probability(
+            model, predicate, 700, np.random.default_rng(2), vectorized=False
+        )
+        batched = empirical_probability(
+            model, predicate, 700, np.random.default_rng(2), batch_size=128
+        )
+        assert scalar == batched  # same hits, same n, same estimate
+
+    def test_is_amp_estimates_identical(self):
+        model = Mallows(list(range(7)), 0.35)
+        psi = SubRanking([6, 0])
+        scalar = is_amp_estimate(
+            model, psi, 400, np.random.default_rng(4), vectorized=False
+        )
+        batched = is_amp_estimate(model, psi, 400, np.random.default_rng(4))
+        assert batched.estimate == pytest.approx(
+            scalar.estimate, abs=1e-12, rel=1e-12
+        )
+
+    def test_balance_heuristic_identical(self):
+        model = Mallows(list(range(6)), 0.3)
+        psi = SubRanking([5, 1])
+        proposals = [
+            AMPSampler(model.recenter(center), psi)
+            for center in (
+                Ranking([5, 1, 0, 2, 3, 4]),
+                Ranking([0, 5, 1, 2, 3, 4]),
+                Ranking([2, 5, 3, 1, 0, 4]),
+            )
+        ]
+        scalar = balance_heuristic_estimate(
+            model, proposals, 150, np.random.default_rng(6), vectorized=False
+        )
+        batched = balance_heuristic_estimate(
+            model, proposals, 150, np.random.default_rng(6)
+        )
+        assert batched == pytest.approx(scalar, abs=1e-12, rel=1e-12)
+
+    def test_mis_amp_estimates_identical(self):
+        model = Mallows(["s1", "s2", "s3", "s4"], 0.2)
+        psi = SubRanking(["s4", "s1"])
+        scalar = mis_amp_estimate(
+            model, psi, 300, np.random.default_rng(7), vectorized=False
+        )
+        batched = mis_amp_estimate(model, psi, 300, np.random.default_rng(7))
+        assert batched.estimate == pytest.approx(
+            scalar.estimate, abs=1e-12, rel=1e-12
+        )
+
+    def test_mis_amp_lite_estimates_identical(self):
+        model = Mallows(list(range(6)), 0.3)
+        labeling = Labeling(
+            {0: {"A"}, 1: {"B"}, 2: {"A"}, 3: {"C"}, 4: {"B"}, 5: {"C"}}
+        )
+        union = PatternUnion(
+            [
+                LabelPattern([(node("c", "C"), node("a", "A"))]),
+                LabelPattern([(node("b", "B"), node("a2", "A"))]),
+            ]
+        )
+        scalar = mis_amp_lite(
+            model,
+            labeling,
+            union,
+            n_proposals=4,
+            n_per_proposal=120,
+            rng=np.random.default_rng(9),
+            vectorized=False,
+        )
+        batched = mis_amp_lite(
+            model,
+            labeling,
+            union,
+            n_proposals=4,
+            n_per_proposal=120,
+            rng=np.random.default_rng(9),
+        )
+        assert batched.probability == pytest.approx(
+            scalar.probability, abs=1e-12, rel=1e-12
+        )
+
+
+class TestMarginalProperties:
+    def test_sample_many_marginals_match_enumeration(self):
+        # Batched first-position marginals agree with the exact support.
+        model = Mallows(list(range(5)), 0.4)
+        n = 40_000
+        positions = model.sample_positions(n, np.random.default_rng(123))
+        exact_top = np.zeros(5)
+        for tau, p in model.enumerate_support():
+            exact_top[tau.item_at(1)] += p
+        observed_top = (positions == 1).mean(axis=0)
+        sigmas = np.sqrt(exact_top * (1 - exact_top) / n)
+        assert (np.abs(observed_top - exact_top) < 4 * sigmas + 1e-3).all()
+
+    def test_sample_many_marginals_match_scalar_frequencies(self):
+        # Scalar and batched samplers estimate the same pairwise marginal.
+        model = Mallows(list(range(6)), 0.7)
+        n = 6000
+        scalar_hits = sum(
+            tau.prefers(5, 0)
+            for tau in model.sample_many(
+                n, np.random.default_rng(42), vectorized=False
+            )
+        )
+        positions = model.sample_positions(n, np.random.default_rng(977))
+        batched_hits = int((positions[:, 5] < positions[:, 0]).sum())
+        scalar_rate, batched_rate = scalar_hits / n, batched_hits / n
+        spread = 4 * math.sqrt(0.25 / n)
+        assert abs(scalar_rate - batched_rate) < 2 * spread
+
+    def test_amp_marginals_match_proposal_density(self):
+        model = Mallows(list(range(4)), 0.5)
+        sampler = AMPSampler(model, SubRanking([3, 0]))
+        n = 20_000
+        positions = sampler.sample_positions(n, np.random.default_rng(31))
+        rankings = rankings_from_positions(model, positions)
+        counts: dict = {}
+        for tau in rankings:
+            counts[tau] = counts.get(tau, 0) + 1
+        for tau, count in counts.items():
+            p = sampler.probability(tau)
+            sigma = math.sqrt(p * (1 - p) / n)
+            assert abs(count / n - p) < 4 * sigma + 2e-3
+
+
+class TestSampleOnlyModels:
+    def test_rank_distribution_sampling_works_without_positions_api(self, rng):
+        # Models exposing only sample() (Plackett-Luce, mixtures) keep the
+        # scalar sampling path of rank_distribution.
+        from repro.rim.marginals import rank_distribution
+        from repro.rim.mixture import MallowsMixture
+        from repro.rim.plackett_luce import PlackettLuce
+
+        pl = PlackettLuce({"a": 3.0, "b": 2.0, "c": 1.0})
+        distribution = rank_distribution(pl, "a", n_samples=400, rng=rng)
+        assert sum(distribution) == pytest.approx(1.0)
+        mixture = MallowsMixture(
+            [Mallows(list(range(4)), 0.3), Mallows(list(range(4)), 0.9)],
+            [0.5, 0.5],
+        )
+        distribution = rank_distribution(mixture, 2, n_samples=400, rng=rng)
+        assert sum(distribution) == pytest.approx(1.0)
+
+    def test_rank_distribution_batched_matches_exact(self):
+        from repro.rim.marginals import rank_distribution
+
+        model = Mallows(list(range(5)), 0.5)
+        exact = rank_distribution(model, 2)
+        sampled = rank_distribution(
+            model, 2, n_samples=30_000, rng=np.random.default_rng(55)
+        )
+        assert np.allclose(sampled, exact, atol=0.02)
+
+
+class TestRejectionUntilWithin:
+    def test_exact_zero_short_circuits(self, rng):
+        # An unsatisfiable event with exact_value 0 must stop at the first
+        # check instead of burning all max_samples (old behavior).
+        model = Mallows(list(range(4)), 0.5)
+        result = rejection_until_within(
+            model,
+            lambda tau: False,
+            exact_value=0.0,
+            relative_tolerance=0.01,
+            rng=rng,
+            max_samples=500_000,
+            check_every=100,
+        )
+        assert result.n_samples == 100
+        assert result.estimate == 0.0
+
+    def test_exact_zero_short_circuits_vectorized(self, rng):
+        model = Mallows(list(range(5)), 0.5)
+        # A satisfiable predicate evaluated against exact 0: convergence is
+        # impossible once a hit lands, so the run stops at a check instead
+        # of burning the budget.
+        predicate = subranking_predicate(SubRanking([0, 1]))
+        result = rejection_until_within(
+            model,
+            predicate,
+            exact_value=0.0,
+            relative_tolerance=0.01,
+            rng=rng,
+            max_samples=500_000,
+            check_every=100,
+        )
+        assert result.n_samples == 100
+
+    def test_scalar_and_vectorized_stop_identically(self):
+        model = Mallows(list(range(5)), 0.6)
+        psi = SubRanking([4, 0])
+        exact = sum(
+            p
+            for tau, p in model.enumerate_support()
+            if psi.is_consistent_with(tau)
+        )
+        predicate = subranking_predicate(psi)
+        scalar = rejection_until_within(
+            model,
+            predicate,
+            exact,
+            0.05,
+            np.random.default_rng(77),
+            max_samples=300_000,
+            vectorized=False,
+        )
+        batched = rejection_until_within(
+            model,
+            predicate,
+            exact,
+            0.05,
+            np.random.default_rng(77),
+            max_samples=300_000,
+        )
+        assert scalar == batched
+
+    def test_vectorized_requires_capable_predicate(self, rng):
+        model = Mallows(list(range(4)), 0.5)
+        with pytest.raises(TypeError, match="many"):
+            rejection_until_within(
+                model, lambda tau: True, 0.5, 0.01, rng, vectorized=True
+            )
+
+
+class TestPrecompute:
+    def test_tables_cached_on_instance(self):
+        model = Mallows(list(range(6)), 0.5)
+        assert model_tables(model) is model_tables(model)
+
+    def test_cumulative_matches_row_prefix_sums(self):
+        model = geometric_rim(5, 0.3)
+        tables = model_tables(model)
+        for i in range(1, 6):
+            expected = np.concatenate(
+                ([0.0], np.cumsum(model.pi[i - 1, :i]))
+            )
+            assert np.array_equal(tables.cumulative[i - 1, : i + 1], expected)
+
+    def test_mallows_matrix_shared_across_instances(self):
+        a = Mallows(list(range(8)), 0.45)
+        b = a.recenter(Ranking([3, 1, 5, 0, 2, 4, 7, 6]))
+        assert a.pi is b.pi  # one memoized (m, phi) parameter matrix
+
+    def test_memoization_disabled_recomputes(self):
+        with memoization_disabled():
+            a = mallows_matrix(5, 0.5)
+            b = mallows_matrix(5, 0.5)
+            assert a is not b
+            model = Mallows(list(range(5)), 0.5)
+            assert model_tables(model) is not model_tables(model)
+        warm_a = mallows_matrix(5, 0.5)
+        warm_b = mallows_matrix(5, 0.5)
+        assert warm_a is warm_b
+
+    def test_mallows_log_z_matches_normalization(self):
+        for phi in (0.0, 0.3, 1.0):
+            model = Mallows(list(range(7)), phi)
+            assert model.log_normalization == pytest.approx(
+                mallows_log_z(7, phi)
+            )
+            assert model.normalization == pytest.approx(
+                math.exp(mallows_log_z(7, phi))
+            )
+
+    def test_insertion_matrix_copy_is_writable(self):
+        matrix = mallows_insertion_matrix(6, 0.4)
+        matrix[0, 0] = 0.123  # public API returns a private copy
+        assert mallows_insertion_matrix(6, 0.4)[0, 0] == 1.0
+
+
+class TestVectorizedInitValidation:
+    def test_negative_entry_rejected(self):
+        pi = np.array([[1.0, 0.0], [-0.2, 1.2]])
+        with pytest.raises(ValueError, match="negative"):
+            RIM(["a", "b"], pi)
+
+    def test_bad_row_sum_rejected(self):
+        pi = np.array([[1.0, 0.0], [0.4, 0.4]])
+        with pytest.raises(ValueError, match="sums to"):
+            RIM(["a", "b"], pi)
+
+    def test_mass_beyond_diagonal_rejected(self):
+        pi = np.array([[1.0, 0.1], [0.5, 0.5]])
+        with pytest.raises(ValueError, match="beyond"):
+            RIM(["a", "b"], pi)
+
+    def test_valid_matrix_accepted(self):
+        model = RIM(["a", "b", "c"], Mallows(["a", "b", "c"], 0.5).pi)
+        assert model.m == 3
