@@ -40,7 +40,7 @@ from repro.patterns import (
 )
 from repro.rankings import PartialOrder, Ranking, SubRanking, kendall_tau
 from repro.rim import RIM, AMPSampler, Mallows, MallowsMixture
-from repro.service import SolverCache
+from repro.service import PersistentSolverCache, SolverCache
 from repro.service.service import BatchResult, PreferenceService
 from repro.solvers import (
     SolverResult,
@@ -77,6 +77,7 @@ __all__ = [
     "union_satisfied_many",
     "SolverResult",
     "SolverCache",
+    "PersistentSolverCache",
     "PreferenceService",
     "BatchResult",
     "solve",

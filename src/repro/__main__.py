@@ -141,6 +141,8 @@ def run_batch(args) -> int:
         cache_capacity=args.capacity,
         method=args.method,
         max_workers=args.workers,
+        backend=args.backend,
+        cache_db=args.cache_db,
     )
     # Sampling methods need an rng (and bypass the cache — the passes
     # then report their per-query solve counts instead of cache hits).
@@ -163,7 +165,11 @@ def run_batch(args) -> int:
                 batch.n_queries / batch.seconds if batch.seconds else 0.0,
             ]
         )
-    print(f"== batch serving: {args.queries} queries x {args.repeat} passes ==")
+    tier = f", cache_db={args.cache_db}" if args.cache_db else ""
+    print(
+        f"== batch serving: {args.queries} queries x {args.repeat} passes "
+        f"(backend={args.backend}{tier}) =="
+    )
     print(
         format_table(
             ["pass", "queries", "sessions", "distinct_solves", "cache_hits",
@@ -178,6 +184,12 @@ def run_batch(args) -> int:
                     ("hits", "misses", "evictions", "size", "capacity"))
         + f", hit_rate={stats['hit_rate']:.3f}"
     )
+    if "disk_size" in stats:
+        print(
+            "disk tier: "
+            + ", ".join(f"{name}={stats[name]}" for name in
+                        ("disk_hits", "disk_misses", "disk_size"))
+        )
     return 0
 
 
@@ -234,8 +246,19 @@ def main(argv: list[str] | None = None) -> int:
         help="number of passes over the same batch (pass 2+ is cache-warm)",
     )
     batch_parser.add_argument(
-        "--workers", type=int, default=1,
-        help="worker-pool size for distinct solves (1 = serial)",
+        "--workers", type=int, default=None,
+        help="worker-pool size for distinct solves "
+        "(default: min(8, cpu_count); 1 = serial)",
+    )
+    batch_parser.add_argument(
+        "--backend", choices=("serial", "thread", "process"), default="thread",
+        help="execution backend for distinct solves (process scales the "
+        "exact DP solvers across cores)",
+    )
+    batch_parser.add_argument(
+        "--cache-db", default=None, metavar="PATH",
+        help="SQLite file for the persistent cache tier (warm state "
+        "survives restarts)",
     )
     batch_parser.add_argument(
         "--capacity", type=int, default=4096, help="solver-cache capacity"

@@ -47,6 +47,7 @@ from repro.rim.mixture import MallowsMixture
 from repro.rim.sampling import empirical_probability
 from repro.service.cache import SolverCache
 from repro.service.keys import request_fingerprint, session_cache_key
+from repro.solvers.dispatch import resolve_method
 from repro.solvers.dispatch import solve as exact_solve
 
 SessionKey = tuple[Hashable, ...]
@@ -120,12 +121,15 @@ def compile_session_work(
         if binding is None:
             continue
         bindings = _session_atom_bindings(analysis, db, binding)
-        cache_key = tuple(
-            sorted(
-                (variable.name, value)
-                for assignment in bindings
-                for variable, value in assignment.items()
+        # One signature per assignment: a failed join ([], the query is
+        # false here) must not collide with a successful binding-free join
+        # ([{}]), and the disjunct structure matters ([{x:1}, {y:2}] is a
+        # different query than [{x:1, y:2}]).
+        cache_key = frozenset(
+            tuple(
+                sorted((variable.name, value) for variable, value in assignment.items())
             )
+            for assignment in bindings
         )
         if cache_key in union_cache:
             union = union_cache[cache_key]
@@ -179,7 +183,15 @@ def _session_atom_bindings(
             assignment: dict = {}
             consistent = True
             for position, term in enumerate(atom.terms):
-                if position == 0 or is_variable(term) and term == session_variable:
+                if position == 0:
+                    continue
+                if is_variable(term) and term == session_variable:
+                    # A session variable recurring at a later column still
+                    # constrains the row: V(v, _, v) only joins rows whose
+                    # third column repeats the session value.
+                    if row[position] != value:
+                        consistent = False
+                        break
                     continue
                 if is_constant(term):
                     if row[position] != term.value:
@@ -289,13 +301,26 @@ def solve_session(
     rng: np.random.Generator | None = None,
     **options,
 ) -> tuple[float, str]:
-    """``Pr(G)`` for one session model (marginalizing Mallows mixtures)."""
+    """``Pr(G)`` for one session model (marginalizing Mallows mixtures).
+
+    The reported solver name is the one that actually ran: ``"auto"`` is
+    resolved through the dispatch, and a mixture reports the per-component
+    solver (``mixture[two_label]``, never ``mixture[auto]``).
+    """
     if isinstance(model, MallowsMixture):
-        probabilities = [
-            _solve_single_model(component, labeling, union, method, rng, options)[0]
-            for component in model.components
-        ]
-        return model.marginalize(probabilities), f"mixture[{method}]"
+        probabilities = []
+        component_solvers = []
+        for component in model.components:
+            probability, solver_name = _solve_single_model(
+                component, labeling, union, method, rng, options
+            )
+            probabilities.append(probability)
+            component_solvers.append(solver_name)
+        names = sorted(set(component_solvers))
+        return (
+            model.marginalize(probabilities),
+            f"mixture[{'+'.join(names)}]",
+        )
     return _solve_single_model(model, labeling, union, method, rng, options)
 
 
@@ -376,6 +401,20 @@ def evaluate(
             labeling_cache[union] = cached
         return cached
 
+    # Resolve "auto" once per union: the concrete method is what the cache
+    # keys on (so an auto request and its explicit twin share one entry)
+    # and what the per-session solver attribution reports.
+    method_cache: dict[PatternUnion, str] = {}
+
+    def method_of(union: PatternUnion) -> str:
+        if method in APPROXIMATE_METHODS:
+            return method
+        cached = method_cache.get(union)
+        if cached is None:
+            cached = resolve_method(union, method)
+            method_cache[union] = cached
+        return cached
+
     # The model-independent half of a canonical key is expensive (pattern
     # canonicalization) and shared by every session with the same union
     # object — memoize it alongside the labeling.
@@ -385,7 +424,7 @@ def evaluate(
         cached = fingerprint_cache.get(union)
         if cached is None:
             cached = request_fingerprint(
-                labeling_of(union), union, method, solver_options
+                labeling_of(union), union, method_of(union), solver_options
             )
             fingerprint_cache[union] = cached
         return cached
@@ -402,7 +441,7 @@ def evaluate(
         if use_cache:
             group_key: Hashable = session_cache_key(
                 work.model, labeling_of(work.union), work.union,
-                method, solver_options,
+                method_of(work.union), solver_options,
                 fingerprint=fingerprint_of(work.union),
             )
         else:
@@ -423,7 +462,7 @@ def evaluate(
                 work.model,
                 labeling_of(work.union),
                 work.union,
-                method=method,
+                method=method_of(work.union),
                 rng=rng,
                 **solver_options,
             )

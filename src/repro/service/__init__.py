@@ -1,6 +1,7 @@
-"""The serving layer: canonical cache keys, a solver result cache, batching.
+"""The serving layer: cache keys, caches, executors, planning, batching.
 
-Three pieces (see DESIGN.md, "The service layer"):
+Six pieces (see DESIGN.md, "The service layer" and "Executors,
+persistence, planning"):
 
 * :mod:`repro.service.keys` — canonical cache keys for (model, labeling,
   pattern-union) solve requests, built on the ``freeze()`` hooks of the
@@ -8,9 +9,16 @@ Three pieces (see DESIGN.md, "The service layer"):
 * :mod:`repro.service.cache` — a thread-safe LRU :class:`SolverCache` with
   hit/miss/eviction statistics, consumed by the solver dispatch and the
   query engine (``cache=`` parameter);
+* :mod:`repro.service.persist` — the SQLite tier beneath the LRU
+  (:class:`PersistentSolverCache`), making warm state survive restarts;
+* :mod:`repro.service.executors` — pluggable ``serial`` / ``thread`` /
+  ``process`` execution backends over picklable ``SolveTask`` descriptors
+  built from the canonical ``freeze()`` forms;
+* :mod:`repro.service.planner` — DP state-count estimates and the
+  largest-first (LPT) schedule of a batch's pending solves;
 * :mod:`repro.service.service` — the :class:`PreferenceService` batch API
   (``evaluate_many``) that groups sessions across whole batches of queries
-  and runs the distinct solves on a worker pool.
+  and runs the distinct solves on the configured backend.
 
 ``PreferenceService``/``BatchResult`` are re-exported lazily: the query
 engine imports :mod:`repro.service.keys` at load time, and an eager import
@@ -19,12 +27,37 @@ the engine.
 """
 
 from repro.service.cache import CacheStats, SolverCache
+from repro.service.executors import (
+    BACKENDS,
+    ExecutionBackend,
+    ProcessBackend,
+    SerialBackend,
+    SolveTask,
+    TaskOutcome,
+    ThreadBackend,
+    resolve_backend,
+    run_solve_task,
+    task_model_form,
+)
 from repro.service.keys import freeze_model, session_cache_key, solve_cache_key
+from repro.service.persist import PersistentCache, PersistentSolverCache
 
 __all__ = [
+    "BACKENDS",
     "CacheStats",
+    "ExecutionBackend",
+    "PersistentCache",
+    "PersistentSolverCache",
+    "ProcessBackend",
+    "SerialBackend",
+    "SolveTask",
     "SolverCache",
+    "TaskOutcome",
+    "ThreadBackend",
     "freeze_model",
+    "resolve_backend",
+    "run_solve_task",
+    "task_model_form",
     "session_cache_key",
     "solve_cache_key",
     "PreferenceService",

@@ -105,6 +105,11 @@ class SolverCache:
                 self._data.popitem(last=False)
                 self._evictions += 1
 
+    def put_many(self, items) -> None:
+        """Insert/refresh many entries; subclasses may batch the work."""
+        for key, value in items:
+            self.put(key, value)
+
     def get_or_compute(self, key: Hashable, compute: Callable[[], Any]) -> Any:
         """The cached value, or ``compute()`` stored under ``key``.
 

@@ -62,9 +62,9 @@ def _resolve_method(union: PatternUnion, method: str) -> str:
     """Resolve ``"auto"`` so an auto request collides with its explicit twin."""
     if method != "auto":
         return method
-    from repro.solvers.dispatch import choose_method  # deferred: import cycle
+    from repro.solvers.dispatch import resolve_method  # deferred: import cycle
 
-    return choose_method(union)
+    return resolve_method(union, method)
 
 
 def _freeze_options(solver_options: Mapping[str, Any] | None) -> tuple:
@@ -131,6 +131,14 @@ def session_cache_key(
     ``(probability, solver_name)`` pair.  The tag keeps these entries
     disjoint from dispatch-level entries, whose values have a different
     type.
+
+    Canonically equal requests share one entry *including its solver
+    name*: a plain Mallows and a single-full-weight-component mixture of
+    it collide (by design — they are the same distribution), so a
+    cache-served evaluation reports the solver of whichever request
+    actually solved first (``two_label`` vs ``mixture[two_label]``).  The
+    probability is identical either way; the name describes the solve
+    that really ran.
     """
     if fingerprint is None:
         fingerprint = request_fingerprint(

@@ -1,0 +1,293 @@
+"""A SQLite-backed persistent tier beneath the in-memory solver cache.
+
+The in-memory :class:`~repro.service.cache.SolverCache` makes repeated
+consensus-answer-style workloads cheap *within* a process, but evaporates
+on restart.  This module adds the durable tier:
+
+* :class:`PersistentCache` — a small write-through key/value store over one
+  SQLite file.  Keys are the canonical request keys of
+  :mod:`repro.service.keys`, encoded by ``repr`` (the same determinism the
+  canonical forms already rely on for sorting); values are the engine's
+  ``(probability, solver_name)`` session outcomes.  Entries are *versioned*:
+  the file records the cache-format version plus ``repro.__version__``, and
+  a mismatch clears the store — stale keys from an older freeze()/solver
+  generation can cost a rebuild, never a wrong answer.
+* :class:`PersistentSolverCache` — a drop-in :class:`SolverCache` whose
+  misses fall through to the SQLite tier (promoting hits back into memory)
+  and whose puts write through.  Handing one to the query engine or a
+  :class:`~repro.service.service.PreferenceService` (``cache_db=``) makes
+  warm state survive restarts: a new process serving a previously-seen
+  batch performs zero solves.
+
+Only plain ``(float, str)`` session outcomes are persisted; richer cached
+values (e.g. dispatch-level ``SolverResult`` objects) stay memory-only
+rather than pulling pickle into the storage format.  See DESIGN.md,
+"Executors, persistence, planning".
+"""
+
+from __future__ import annotations
+
+import os
+import sqlite3
+import threading
+from typing import Any, Hashable
+
+import repro
+from repro.service.cache import SolverCache
+
+#: Bump when the canonical key or value format changes incompatibly;
+#: combined with ``repro.__version__`` into the stored version stamp.
+KEY_SCHEMA_VERSION = 1
+
+_MISSING = object()
+
+
+def default_version() -> str:
+    """The version stamp new cache files record (and old ones must match)."""
+    return f"{repro.__version__}/k{KEY_SCHEMA_VERSION}"
+
+
+def _typed(value):
+    """Recursively tag non-builtin leaves with their type.
+
+    ``repr`` alone can collide across types (``np.int64(1)`` reprs as
+    ``1`` on older NumPy), and the in-memory cache would keep such keys
+    apart while a bare-repr TEXT key would merge them — a wrong answer,
+    not a miss.  Builtin scalars have injective reprs within and across
+    their types; everything else is wrapped in its module-qualified type
+    name, matching the identity convention of
+    :func:`repro.patterns.pattern.canonical_sort_key`.
+    """
+    if isinstance(value, tuple):
+        return tuple(_typed(element) for element in value)
+    if isinstance(value, frozenset):
+        return (
+            "frozenset{",
+            tuple(sorted((_typed(element) for element in value), key=repr)),
+            "}",
+        )
+    if value is None or isinstance(value, (bool, int, float, str, bytes)):
+        return value
+    return (
+        "typed<", type(value).__module__, type(value).__qualname__,
+        repr(value), ">",
+    )
+
+
+def encode_key(key: Hashable) -> str:
+    """Canonical request key -> stable TEXT key.
+
+    The canonical keys are nested tuples of strings, numbers, bytes, and
+    label objects; leaves are type-tagged (:func:`_typed`) before taking
+    ``repr``, so the encoding is deterministic across processes and runs
+    and two keys only merge when they share both structure and per-leaf
+    type.  Residual assumption (shared with the canonicalization layer):
+    distinct *same-type* values must not share a ``repr``.
+    """
+    return repr(_typed(key))
+
+
+def _persistable(value: Any) -> bool:
+    """True for the engine's ``(probability, solver_name)`` outcomes."""
+    return (
+        isinstance(value, tuple)
+        and len(value) == 2
+        and isinstance(value[0], (int, float))
+        and isinstance(value[1], str)
+    )
+
+
+class PersistentCache:
+    """A write-through (key -> (probability, solver)) store in one SQLite file.
+
+    Thread-safe (one connection guarded by a lock; SQLite REAL columns are
+    IEEE doubles, so probabilities round-trip exactly).  ``get``/``put``
+    mirror the :class:`SolverCache` surface so tiering is mechanical.
+    """
+
+    def __init__(self, path: "str | os.PathLike", version: str | None = None):
+        self._path = os.fspath(path)
+        self._version = version if version is not None else default_version()
+        self._lock = threading.RLock()
+        self._conn = sqlite3.connect(self._path, check_same_thread=False)
+        self._hits = 0
+        self._misses = 0
+        with self._lock:
+            self._conn.execute(
+                "CREATE TABLE IF NOT EXISTS meta "
+                "(name TEXT PRIMARY KEY, value TEXT)"
+            )
+            self._conn.execute(
+                "CREATE TABLE IF NOT EXISTS entries ("
+                "key TEXT PRIMARY KEY, probability REAL, solver TEXT)"
+            )
+            row = self._conn.execute(
+                "SELECT value FROM meta WHERE name = 'version'"
+            ).fetchone()
+            if row is None or row[0] != self._version:
+                # A different freeze()/solver generation wrote this file:
+                # its keys may no longer mean what they say. Start over.
+                self._conn.execute("DELETE FROM entries")
+                self._conn.execute(
+                    "INSERT OR REPLACE INTO meta (name, value) "
+                    "VALUES ('version', ?)",
+                    (self._version,),
+                )
+            self._conn.commit()
+
+    @property
+    def path(self) -> str:
+        return self._path
+
+    @property
+    def version(self) -> str:
+        return self._version
+
+    def __len__(self) -> int:
+        with self._lock:
+            return int(
+                self._conn.execute("SELECT COUNT(*) FROM entries").fetchone()[0]
+            )
+
+    def __repr__(self) -> str:
+        return f"PersistentCache(path={self._path!r}, size={len(self)})"
+
+    def get(
+        self, key: Hashable, default: Any = None
+    ) -> "tuple[float, str] | Any":
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT probability, solver FROM entries WHERE key = ?",
+                (encode_key(key),),
+            ).fetchone()
+            if row is None:
+                self._misses += 1
+                return default
+            self._hits += 1
+            return (float(row[0]), row[1])
+
+    def put(self, key: Hashable, value: tuple) -> None:
+        self.put_many([(key, value)])
+
+    def put_many(self, items) -> None:
+        """Store many outcomes in ONE transaction.
+
+        A cold batch writes every fresh solve through; committing per entry
+        would pay one fsync each, so the serving layer flushes a batch's
+        outcomes together.
+        """
+        rows = []
+        for key, value in items:
+            if not _persistable(value):
+                raise TypeError(
+                    f"persistent cache stores (probability, solver) pairs, "
+                    f"got {value!r}"
+                )
+            rows.append((encode_key(key), float(value[0]), value[1]))
+        if not rows:
+            return
+        with self._lock:
+            self._conn.executemany(
+                "INSERT OR REPLACE INTO entries (key, probability, solver) "
+                "VALUES (?, ?, ?)",
+                rows,
+            )
+            self._conn.commit()
+
+    def clear(self) -> None:
+        with self._lock:
+            self._conn.execute("DELETE FROM entries")
+            self._conn.commit()
+
+    def stats(self) -> dict[str, float]:
+        with self._lock:
+            return {
+                "disk_hits": self._hits,
+                "disk_misses": self._misses,
+                "disk_size": len(self),
+            }
+
+    def close(self) -> None:
+        with self._lock:
+            self._conn.close()
+
+    def __enter__(self) -> "PersistentCache":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class PersistentSolverCache(SolverCache):
+    """An LRU :class:`SolverCache` with a SQLite tier beneath it.
+
+    * ``get`` — memory first; a miss falls through to the SQLite tier and a
+      disk hit is promoted back into the LRU (so hot restarted state pays
+      the disk read once);
+    * ``put`` — write-through: the LRU and the file are updated together.
+      Values the durable format cannot hold (anything but a
+      ``(probability, solver)`` pair) stay memory-only.
+
+    The inherited :meth:`stats` counters keep their in-memory semantics (a
+    disk-served ``get`` still counts as a memory miss); the disk tier's own
+    counters are reported by :meth:`tier_stats`.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 4096,
+        db_path: "str | os.PathLike" = "solver_cache.sqlite",
+        version: str | None = None,
+    ):
+        super().__init__(capacity)
+        self._persistent = PersistentCache(db_path, version=version)
+
+    @property
+    def persistent(self) -> PersistentCache:
+        return self._persistent
+
+    @property
+    def db_path(self) -> str:
+        return self._persistent.path
+
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        value = super().get(key, _MISSING)
+        if value is not _MISSING:
+            return value
+        value = self._persistent.get(key, _MISSING)
+        if value is _MISSING:
+            return default
+        super().put(key, value)  # promote into the LRU
+        return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        super().put(key, value)
+        if _persistable(value):
+            self._persistent.put(key, value)
+
+    def put_many(self, items) -> None:
+        """Write-through a whole batch with one disk transaction."""
+        items = list(items)
+        for key, value in items:
+            SolverCache.put(self, key, value)
+        self._persistent.put_many(
+            [(key, value) for key, value in items if _persistable(value)]
+        )
+
+    def clear(self) -> None:
+        """Drop both tiers (counters are kept, as in the base class)."""
+        super().clear()
+        self._persistent.clear()
+
+    def tier_stats(self) -> dict[str, float]:
+        """Disk-tier counters, merged into ``PreferenceService.stats()``."""
+        return self._persistent.stats()
+
+    def close(self) -> None:
+        self._persistent.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"PersistentSolverCache(size={len(self)}, "
+            f"capacity={self.capacity}, db={self.db_path!r})"
+        )

@@ -14,20 +14,23 @@ and generalizes the paper's within-query identical-request grouping
   them on a configurable ``concurrent.futures`` worker pool, and only then
   assembles per-query results with cache/timing metadata.
 
-The solver DPs are Python loops over memoized NumPy tables
-(:mod:`repro.kernels.precompute`), so the thread pool mostly helps when
-solves release the GIL or when the caller overlaps batches; the
-architectural point is that distinct solves are an explicit, schedulable
-work list rather than an accident of per-query iteration.  Sampling-method
-requests run through the batched kernels of :mod:`repro.kernels` (DESIGN.md
-Section 7) by default.  See DESIGN.md, "The service layer".
+Distinct solves are an explicit, schedulable work list rather than an
+accident of per-query iteration: the planner (:mod:`repro.service.planner`)
+estimates each solve's DP state count and orders the list largest-first,
+and a pluggable execution backend (:mod:`repro.service.executors`) runs it
+— ``serial``, ``thread``, or ``process``, the last shipping picklable
+``SolveTask`` descriptors to a ``ProcessPoolExecutor`` so the pure-Python
+exact DP solvers actually scale across cores.  With ``cache_db=`` the
+in-memory cache gains a SQLite tier (:mod:`repro.service.persist`), so warm
+state survives restarts.  Sampling-method requests run through the batched
+kernels of :mod:`repro.kernels` (DESIGN.md Section 7) by default.  See
+DESIGN.md, "The service layer" and "Executors, persistence, planning".
 """
 
 from __future__ import annotations
 
-import os
 import time
-from concurrent.futures import ThreadPoolExecutor
+import warnings
 from dataclasses import dataclass, field
 from typing import Any, Hashable, Iterator, Sequence
 
@@ -47,11 +50,20 @@ from repro.query.engine import (
     aggregate_sessions,
     compile_session_work,
     evaluate,
-    solve_session,
 )
 from repro.query.parser import parse_query
 from repro.service.cache import SolverCache
+from repro.service.executors import (
+    ExecutionBackend,
+    ProcessBackend,
+    SerialBackend,
+    make_solve_task,
+    resolve_backend,
+)
 from repro.service.keys import request_fingerprint, session_cache_key
+from repro.service.persist import PersistentSolverCache
+from repro.service.planner import estimate_solve_states, largest_first_order
+from repro.solvers.dispatch import resolve_method
 
 
 @dataclass
@@ -69,6 +81,8 @@ class BatchResult:
     seconds: float
     #: Snapshot of the service cache counters after the batch.
     cache_stats: dict[str, float] = field(default_factory=dict)
+    #: Name of the execution backend that ran the distinct solves.
+    backend: str = ""
 
     @property
     def probabilities(self) -> list[float]:
@@ -93,10 +107,10 @@ class _SessionEntry:
     model: Any = None
     labeling: Labeling | None = None
     union: PatternUnion | None = None
-
-
-def _default_workers() -> int:
-    return min(8, os.cpu_count() or 1)
+    #: The concrete solver method ("auto" resolved per union).
+    method: str = "auto"
+    #: The request fingerprint: (labeling form, union form, method, options).
+    fingerprint: tuple | None = None
 
 
 class PreferenceService:
@@ -112,6 +126,17 @@ class PreferenceService:
     max_workers:
         Default worker-pool size for :meth:`evaluate_many`; ``None`` picks
         ``min(8, cpu_count)``, ``1`` forces serial execution.
+    backend:
+        Default execution backend for the distinct solves of a batch:
+        ``"serial"``, ``"thread"`` (default), ``"process"``, or an
+        :class:`~repro.service.executors.ExecutionBackend` instance.  The
+        process backend is the one that scales the CPU-bound exact DP
+        solves across cores.
+    cache_db:
+        Path of a SQLite file adding a persistent tier beneath the
+        in-memory cache (:class:`~repro.service.persist
+        .PersistentSolverCache`): solves are written through and survive
+        process restarts.  Mutually exclusive with an explicit ``cache``.
     solver_options:
         Default options forwarded to every solve (e.g. ``time_budget=60``).
 
@@ -135,16 +160,36 @@ class PreferenceService:
         method: str = "auto",
         max_workers: int | None = None,
         cache: SolverCache | None = None,
+        backend: "str | ExecutionBackend" = "thread",
+        cache_db: "str | None" = None,
         **solver_options,
     ):
-        self.cache = cache if cache is not None else SolverCache(cache_capacity)
+        if cache is not None and cache_db is not None:
+            raise ValueError(
+                "pass either an explicit cache or a cache_db path, not both"
+            )
+        if cache is not None:
+            self.cache = cache
+        elif cache_db is not None:
+            self.cache = PersistentSolverCache(cache_capacity, cache_db)
+        else:
+            self.cache = SolverCache(cache_capacity)
         self.method = method
         self.max_workers = max_workers
+        self.backend = backend
         self.solver_options = solver_options
 
     def stats(self) -> dict[str, float]:
-        """Current cache counters (hits, misses, evictions, hit_rate, ...)."""
-        return self.cache.stats().as_dict()
+        """Current cache counters (hits, misses, evictions, hit_rate, ...).
+
+        With a persistent tier (``cache_db=``) the disk counters
+        (``disk_hits``, ``disk_misses``, ``disk_size``) are merged in.
+        """
+        stats = self.cache.stats().as_dict()
+        tier_stats = getattr(self.cache, "tier_stats", None)
+        if tier_stats is not None:
+            stats.update(tier_stats())
+        return stats
 
     # ------------------------------------------------------------------
     # Single-query path
@@ -183,6 +228,7 @@ class PreferenceService:
         db: PPDatabase,
         method: str | None = None,
         max_workers: int | None = None,
+        backend: "str | ExecutionBackend | None" = None,
         rng: np.random.Generator | None = None,
         session_limit: int | None = None,
         **overrides,
@@ -190,13 +236,18 @@ class PreferenceService:
         """Evaluate a batch of queries with batch-wide solve deduplication.
 
         Per-query results match sequential :func:`repro.query.engine.evaluate`
-        exactly (same aggregation, same clamping); the batch metadata
-        reports how much work the grouping and the cache saved.  Sampling
-        methods (``mis_amp_*``, ``rejection``) are rng-driven and
-        non-cacheable, so they fall back to sequential evaluation — each
-        solve still draws and weighs its samples through the vectorized
-        kernel layer (:mod:`repro.kernels`) unless ``vectorized=False`` is
-        passed as a solver option.
+        exactly (same aggregation, same clamping, and — through the
+        canonical ``SolveTask`` round-trip — bit-identical probabilities on
+        every backend); the batch metadata reports how much work the
+        grouping and the cache saved.  The distinct solves are ordered
+        largest-first by the planner's state-count estimate and executed on
+        the configured backend.  Sampling methods (``mis_amp_*``,
+        ``rejection``) are rng-driven and non-cacheable, so they fall back
+        to sequential evaluation (a parallelism request is then warned
+        about, not silently ignored) — each solve still draws and weighs
+        its samples through the vectorized kernel layer
+        (:mod:`repro.kernels`) unless ``vectorized=False`` is passed as a
+        solver option.
         """
         started = time.perf_counter()
         method = method or self.method
@@ -204,6 +255,31 @@ class PreferenceService:
         parsed = [self._parse(query) for query in queries]
 
         if method in APPROXIMATE_METHODS:
+            requested_workers = (
+                max_workers if max_workers is not None else self.max_workers
+            )
+
+            def _is_serial(spec) -> bool:
+                return spec == "serial" or isinstance(spec, SerialBackend)
+
+            effective_backend = backend if backend is not None else self.backend
+            parallelism_requested = (
+                # An explicit per-call backend that isn't serial...
+                (backend is not None and not _is_serial(backend))
+                # ...a process-configured service (e.g. --backend process)...
+                or effective_backend == "process"
+                or isinstance(effective_backend, ProcessBackend)
+                # ...or an explicit worker-pool size.
+                or (requested_workers is not None and requested_workers > 1)
+            )
+            if parallelism_requested:
+                warnings.warn(
+                    f"approximate method {method!r} is rng-driven and runs "
+                    f"sequentially; the requested parallelism "
+                    f"(max_workers/backend) is ignored",
+                    UserWarning,
+                    stacklevel=2,
+                )
             results = [
                 evaluate(
                     query, db, method=method, rng=rng,
@@ -219,6 +295,7 @@ class PreferenceService:
                 n_cache_hits=0,
                 seconds=time.perf_counter() - started,
                 cache_stats=self.stats(),
+                backend="serial",
             )
 
         compiled = [self._compile_query(query, db, method, options, session_limit)
@@ -240,24 +317,25 @@ class PreferenceService:
                 else:
                     pending[key] = entry
 
-        tasks = list(pending.items())
-        outcomes = self._run_solves(tasks, method, options, max_workers)
-        for (key, _), outcome in zip(tasks, outcomes):
-            resolved[key] = outcome
-            self.cache.put(key, outcome)
+        execution = resolve_backend(
+            backend if backend is not None else self.backend,
+            max_workers if max_workers is not None else self.max_workers,
+        )
+        seconds_by_key = self._run_pending(pending, resolved, execution, options)
 
         results = [
-            self._assemble(entries, resolved, pending, method)
+            self._assemble(entries, resolved, pending, method, seconds_by_key)
             for entries in compiled
         ]
         return BatchResult(
             results=results,
             n_queries=len(results),
             n_sessions=sum(result.n_sessions for result in results),
-            n_distinct_solves=len(tasks),
+            n_distinct_solves=len(pending),
             n_cache_hits=n_cache_hits,
             seconds=time.perf_counter() - started,
             cache_stats=self.stats(),
+            backend=execution.name,
         )
 
     def _compile_query(
@@ -276,6 +354,7 @@ class PreferenceService:
         items = db.prelation(analysis.p_relation).items
         labeling_memo: dict[PatternUnion, Labeling] = {}
         fingerprint_memo: dict[PatternUnion, tuple] = {}
+        method_memo: dict[PatternUnion, str] = {}
         entries: list[_SessionEntry] = []
         for work in works:
             if work.union is None:
@@ -285,47 +364,83 @@ class PreferenceService:
             if labeling is None:
                 labeling = labeling_for_patterns(work.union.patterns, items, db)
                 labeling_memo[work.union] = labeling
+            resolved_method = method_memo.get(work.union)
+            if resolved_method is None:
+                # "auto" resolves per union so the cache key, the executed
+                # task, and the reported solver all agree on the concrete
+                # method (and collide with explicit same-method requests).
+                resolved_method = resolve_method(work.union, method)
+                method_memo[work.union] = resolved_method
             fingerprint = fingerprint_memo.get(work.union)
             if fingerprint is None:
                 # Canonicalizing the union/labeling is the expensive half of
                 # the key; all sessions sharing the union object reuse it.
                 fingerprint = request_fingerprint(
-                    labeling, work.union, method, options
+                    labeling, work.union, resolved_method, options
                 )
                 fingerprint_memo[work.union] = fingerprint
             entries.append(
                 _SessionEntry(
                     session_key=work.key,
                     cache_key=session_cache_key(
-                        work.model, labeling, work.union, method, options,
-                        fingerprint=fingerprint,
+                        work.model, labeling, work.union, resolved_method,
+                        options, fingerprint=fingerprint,
                     ),
                     model=work.model,
                     labeling=labeling,
                     union=work.union,
+                    method=resolved_method,
+                    fingerprint=fingerprint,
                 )
             )
         return entries
 
-    def _run_solves(
+    def _run_pending(
         self,
-        tasks: list[tuple[Hashable, _SessionEntry]],
-        method: str,
+        pending: dict[Hashable, _SessionEntry],
+        resolved: dict[Hashable, tuple[float, str]],
+        execution: ExecutionBackend,
         options: dict,
-        max_workers: int | None,
-    ) -> list[tuple[float, str]]:
-        def solve_one(entry: _SessionEntry) -> tuple[float, str]:
-            return solve_session(
-                entry.model, entry.labeling, entry.union, method=method, **options
-            )
+    ) -> dict[Hashable, float]:
+        """Plan, execute, and cache the batch's pending solves.
 
-        workers = max_workers if max_workers is not None else self.max_workers
-        if workers is None:
-            workers = _default_workers()
-        if workers <= 1 or len(tasks) <= 1:
-            return [solve_one(entry) for _, entry in tasks]
-        with ThreadPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(solve_one, (entry for _, entry in tasks)))
+        The pending entries are frozen into picklable ``SolveTask``
+        descriptors, ordered largest-first by the planner's state-count
+        estimate (LPT scheduling: the long solves start immediately instead
+        of straggling at the end of the batch), and executed on the chosen
+        backend.  Returns the measured wall time per cache key, for the
+        per-query attribution of :meth:`_assemble`.
+        """
+        keys = list(pending)
+        tasks = []
+        for key in keys:
+            entry = pending[key]
+            cost = estimate_solve_states(
+                entry.model, entry.labeling, entry.union, entry.method, options
+            ).states
+            tasks.append(
+                make_solve_task(
+                    entry.model, entry.labeling, entry.union, entry.method,
+                    options, cost=cost,
+                    # The fingerprint already holds the canonical labeling
+                    # and union forms; don't re-freeze the expensive half.
+                    labeling_form=entry.fingerprint[0],
+                    union_form=entry.fingerprint[1],
+                )
+            )
+        order = largest_first_order([task.cost for task in tasks])
+        outcomes = execution.run([tasks[index] for index in order])
+        seconds_by_key: dict[Hashable, float] = {}
+        fresh: list[tuple[Hashable, tuple[float, str]]] = []
+        for index, outcome in zip(order, outcomes):
+            key = keys[index]
+            resolved[key] = outcome.value
+            seconds_by_key[key] = outcome.seconds
+            fresh.append((key, outcome.value))
+        # One call so a persistent tier can flush the batch in a single
+        # transaction instead of one commit per solve.
+        self.cache.put_many(fresh)
+        return seconds_by_key
 
     @staticmethod
     def _assemble(
@@ -333,6 +448,7 @@ class PreferenceService:
         resolved: dict[Hashable, tuple[float, str]],
         pending: dict[Hashable, _SessionEntry],
         method: str,
+        seconds_by_key: dict[Hashable, float],
     ) -> QueryResult:
         """One query's result, via the engine's shared aggregation."""
         per_session: list[SessionEvaluation] = []
@@ -361,7 +477,10 @@ class PreferenceService:
             n_groups=len(group_keys),
             grouped=True,
             method=method,
-            seconds=0.0,
+            # Measured wall time of the solves this query consumed: a solve
+            # shared by several queries of the batch counts toward each;
+            # cache-served groups contribute nothing.
+            seconds=sum(seconds_by_key.get(key, 0.0) for key in fresh_keys),
             # Same semantics as engine.evaluate: distinct session groups
             # this query did not solve fresh (served by the cache or by
             # another query of the batch).

@@ -48,6 +48,20 @@ def choose_method(union_or_pattern) -> str:
     return "general"
 
 
+def resolve_method(union_or_pattern, method: str = "auto") -> str:
+    """``method`` with ``"auto"`` resolved to the concrete solver name.
+
+    The single resolution point shared by the dispatch, the query engine,
+    and the cache keys (:mod:`repro.service.keys`): resolving *before*
+    building a cache key makes an ``"auto"`` request and its explicit twin
+    collide on one entry, and resolving before solving lets results report
+    the solver that actually ran rather than the requested ``"auto"``.
+    """
+    if method != "auto":
+        return method
+    return choose_method(union_or_pattern)
+
+
 def solve(
     model,
     labeling: Labeling,

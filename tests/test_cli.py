@@ -38,6 +38,31 @@ class TestFigure:
 
 
 class TestBatch:
+    def test_batch_process_backend_with_cache_db(self, capsys, tmp_path):
+        cache_db = str(tmp_path / "cache.sqlite")
+        args = [
+            "batch", "--queries", "4", "--sessions", "30", "--movies", "6",
+            "--repeat", "1", "--seed", "3",
+            "--backend", "process", "--cache-db", cache_db,
+        ]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "backend=process" in out
+        assert "disk tier" in out
+        # Restart: a fresh invocation over the same cache file serves the
+        # whole batch from the persistent tier without solving.
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        warm_row = next(
+            line for line in out.splitlines() if line.startswith("1 ")
+        ).split()
+        assert warm_row[3] == "0"  # distinct_solves
+        assert "disk_hits=0" not in out
+
+    def test_batch_rejects_unknown_backend(self):
+        with pytest.raises(SystemExit):
+            main(["batch", "--backend", "gpu"])
+
     def test_batch_reports_cache_warming(self, capsys):
         assert main(
             [

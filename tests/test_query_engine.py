@@ -212,6 +212,99 @@ class TestSessionBoundJoin:
         assert result.probability == pytest.approx(mc, abs=0.01)
 
 
+class TestSessionAtomJoinRegressions:
+    @pytest.fixture
+    def db_with_rep(self, db):
+        """Figure 1 plus R(voter, grp, rep): the session value recurs."""
+        from repro.db.database import PPDatabase
+        from repro.db.schema import ORelation
+
+        rep = ORelation(
+            "R",
+            ["voter", "grp", "rep"],
+            [("Ann", "g1", "Bob"), ("Dave", "g1", "Dave")],
+        )
+        return PPDatabase(
+            orelations=list(db.orelations.values()) + [rep],
+            prelations=list(db.prelations.values()),
+        )
+
+    def test_recurring_session_variable_constrains_the_row(self, db_with_rep):
+        # R(v, _, v) must only join rows whose third column repeats the
+        # session value: Ann's row names Bob, so her session is false; only
+        # Dave self-matches.  (Regression: the recurring variable at a
+        # non-zero position was skipped, joining Ann's row too and
+        # inflating Pr(Q | D).)
+        q = parse_query("P(v, _; 'Trump'; 'Clinton'), R(v, _, v)")
+        works = compile_session_work(q, db_with_rep)
+        by_key = {w.key: w.union for w in works}
+        assert by_key[("Ann", "5/5")] is None
+        assert by_key[("Bob", "5/5")] is None
+        assert by_key[("Dave", "6/5")] is not None
+
+        result = evaluate(q, db_with_rep)
+        dave_only = evaluate(
+            parse_query("P('Dave', _; 'Trump'; 'Clinton')"), db_with_rep
+        )
+        assert result.probability == pytest.approx(dave_only.probability)
+
+    def test_binding_free_join_not_conflated_with_failed_join(self, db):
+        # V(v, 'F', _, _) binds no variables, so every session's binding
+        # set is either [{}] (a matching row exists) or [] (none does).
+        # (Regression: the per-session union cache keyed both as (), so the
+        # first-compiled session's union leaked to all the others.)
+        q = parse_query("P(v, _; 'Trump'; 'Clinton'), V(v, 'F', _, _)")
+        works = compile_session_work(q, db)
+        by_key = {w.key: w.union for w in works}
+        assert by_key[("Ann", "5/5")] is not None  # Ann is F
+        assert by_key[("Bob", "5/5")] is None
+        assert by_key[("Dave", "6/5")] is None
+
+        result = evaluate(q, db)
+        ann_only = evaluate(
+            parse_query("P('Ann', _; 'Trump'; 'Clinton')"), db
+        )
+        assert result.probability == pytest.approx(ann_only.probability)
+
+
+class TestSolverAttribution:
+    def test_auto_reports_the_resolved_solver(self, db):
+        q = parse_query("P('Ann', '5/5'; 'Trump'; 'Clinton')")
+        result = evaluate(q, db)
+        assert result.method == "auto"  # the request, as asked
+        assert result.per_session[0].solver == "two_label"  # the solver run
+
+    def test_mixture_reports_component_solver_not_auto(self):
+        from repro.db.database import PPDatabase
+        from repro.db.schema import PRelation
+        from repro.rim.mallows import Mallows
+        from repro.rim.mixture import MallowsMixture
+
+        items = ["a", "b", "c"]
+        mixture = MallowsMixture(
+            [Mallows(items, 0.3), Mallows(items, 0.6)], [0.5, 0.5]
+        )
+        db = PPDatabase(
+            prelations=[PRelation("P", ["user"], {("u",): mixture})]
+        )
+        result = evaluate(parse_query("P('u'; 'a'; 'b')"), db)
+        assert result.per_session[0].solver == "mixture[two_label]"
+
+    def test_auto_and_explicit_method_share_one_cache_entry(self, db):
+        from repro.service.cache import SolverCache
+
+        cache = SolverCache()
+        q = parse_query("P('Ann', '5/5'; 'Trump'; 'Clinton')")
+        first = evaluate(q, db, method="auto", cache=cache)
+        assert first.n_solver_calls == 1
+        # The explicit twin of what auto resolved to: zero fresh solves.
+        second = evaluate(q, db, method="two_label", cache=cache)
+        assert second.n_solver_calls == 0
+        assert second.stats["cache_hits"] == 1
+        assert len(cache) == 1
+        assert second.probability == first.probability
+
+
 class TestAggregates:
     def test_count_is_sum_of_session_probabilities(self, db):
         q = parse_query(
