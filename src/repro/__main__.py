@@ -7,6 +7,7 @@ Usage::
     python -m repro figure 10a --fast    # quick, smaller parameters
     python -m repro demo                 # the quickstart walkthrough
     python -m repro batch                # batch serving + solver cache demo
+    python -m repro explain "<query>"    # cost-annotated query plan
 
 Each figure command prints the same rows/series the paper's figure reports
 (see EXPERIMENTS.md for the paper-vs-measured record).  The ``batch``
@@ -114,20 +115,28 @@ def batch_queries(n_queries: int) -> list[str]:
     return queries
 
 
+def _check_method(method: str) -> bool:
+    """Validate a --method value, printing the available names on failure."""
+    from repro.plan.methods import APPROXIMATE_METHODS, AUTO_METHODS
+    from repro.solvers.dispatch import available_methods
+
+    known_methods = AUTO_METHODS + available_methods() + APPROXIMATE_METHODS
+    if method in known_methods:
+        return True
+    print(
+        f"unknown method {method!r}; available: {', '.join(known_methods)}",
+        file=sys.stderr,
+    )
+    return False
+
+
 def run_batch(args) -> int:
     """Serve a repeated query batch through a PreferenceService."""
     from repro.datasets.crowdrank import crowdrank_database
     from repro.query.engine import APPROXIMATE_METHODS
     from repro.service.service import PreferenceService
-    from repro.solvers.dispatch import available_methods
 
-    known_methods = ("auto",) + available_methods() + APPROXIMATE_METHODS
-    if args.method not in known_methods:
-        print(
-            f"unknown method {args.method!r}; available: "
-            f"{', '.join(known_methods)}",
-            file=sys.stderr,
-        )
+    if not _check_method(args.method):
         return 2
     if args.capacity < 1:
         print(f"--capacity must be >= 1, got {args.capacity}", file=sys.stderr)
@@ -137,17 +146,24 @@ def run_batch(args) -> int:
         n_workers=args.sessions, n_movies=args.movies, seed=args.seed
     )
     queries = batch_queries(args.queries)
+    options = (
+        {"approx_budget": args.approx_budget}
+        if args.approx_budget is not None
+        else {}
+    )
     service = PreferenceService(
         cache_capacity=args.capacity,
         method=args.method,
         max_workers=args.workers,
         backend=args.backend,
         cache_db=args.cache_db,
+        **options,
     )
-    # Sampling methods need an rng (and bypass the cache — the passes
-    # then report their per-query solve counts instead of cache hits).
+    # Sampling methods need an rng (and bypass the cache — the passes then
+    # report their per-query solve counts instead of cache hits), and so
+    # does auto-approx whenever its MIS-AMP fallback triggers.
     rng = None
-    if args.method in APPROXIMATE_METHODS:
+    if args.method in APPROXIMATE_METHODS or args.method == "auto-approx":
         import numpy as np
 
         rng = np.random.default_rng(args.seed)
@@ -184,12 +200,55 @@ def run_batch(args) -> int:
                     ("hits", "misses", "evictions", "size", "capacity"))
         + f", hit_rate={stats['hit_rate']:.3f}"
     )
+    print(
+        "planner: "
+        + ", ".join(f"{name}={stats[name]}" for name in
+                    ("n_solves_planned", "n_solves_eliminated",
+                     "n_passes_applied"))
+    )
     if "disk_size" in stats:
         print(
             "disk tier: "
             + ", ".join(f"{name}={stats[name]}" for name in
                         ("disk_hits", "disk_misses", "disk_size"))
         )
+    return 0
+
+
+def run_explain(args) -> int:
+    """Render the cost-annotated, optimized plan of one query (or several).
+
+    The plan is built and optimized but *not* executed — ``explain`` is the
+    cheap pre-flight view of what evaluation would do: the sessions each
+    query selects, the compiled pattern unions, the surviving solve
+    frontier with resolved solvers and DP state-count estimates, and how
+    many solves the optimizer eliminated.
+    """
+    from repro.plan import build_plan, optimize_plan
+    from repro.query.classify import UnsupportedQueryError
+    from repro.query.parser import parse_query
+
+    if not _check_method(args.method):
+        return 2
+    if args.dataset == "polls":
+        from repro.db.examples import polling_example
+
+        db = polling_example()
+    else:
+        from repro.datasets.crowdrank import crowdrank_database
+
+        db = crowdrank_database(
+            n_workers=args.sessions, n_movies=args.movies, seed=args.seed
+        )
+    try:
+        queries = [parse_query(text) for text in args.query]
+        plan = build_plan(queries, db, method=args.method)
+        if not args.no_optimize:
+            optimize_plan(plan, canonical=True)
+        print(plan.explain())
+    except (UnsupportedQueryError, ValueError) as error:
+        print(f"cannot plan query: {error}", file=sys.stderr)
+        return 2
     return 0
 
 
@@ -265,9 +324,43 @@ def main(argv: list[str] | None = None) -> int:
     )
     batch_parser.add_argument(
         "--method", default="auto",
-        help="solver method (default: auto dispatch)",
+        help="solver method (default: auto dispatch; 'auto-approx' falls "
+        "back to MIS-AMP above the state-count budget)",
+    )
+    batch_parser.add_argument(
+        "--approx-budget", type=float, default=None, metavar="STATES",
+        help="auto-approx state-count budget (default: the planner's 5e6)",
     )
     batch_parser.add_argument("--seed", type=int, default=7)
+
+    explain_parser = subparsers.add_parser(
+        "explain",
+        help="render the cost-annotated query plan without executing it",
+    )
+    explain_parser.add_argument(
+        "query", nargs="+",
+        help="query text(s); several queries plan as one batch",
+    )
+    explain_parser.add_argument(
+        "--dataset", choices=("crowdrank", "polls"), default="crowdrank",
+        help="database to plan against (default: a seeded CrowdRank)",
+    )
+    explain_parser.add_argument(
+        "--method", default="auto",
+        help="solver method (default: auto; 'auto-approx' shows the "
+        "budgeted MIS-AMP fallback)",
+    )
+    explain_parser.add_argument(
+        "--no-optimize", action="store_true",
+        help="show the unoptimized logical plan (one solve per session)",
+    )
+    explain_parser.add_argument(
+        "--sessions", type=int, default=50, help="CrowdRank sessions"
+    )
+    explain_parser.add_argument(
+        "--movies", type=int, default=8, help="CrowdRank catalog size"
+    )
+    explain_parser.add_argument("--seed", type=int, default=7)
 
     args = parser.parse_args(argv)
     if args.command == "list":
@@ -280,6 +373,8 @@ def main(argv: list[str] | None = None) -> int:
         return run_figure(args.name, args.fast)
     if args.command == "batch":
         return run_batch(args)
+    if args.command == "explain":
+        return run_explain(args)
     if args.command == "demo":
         # The examples directory is not an installed package; run the
         # quickstart by path so `python -m repro demo` works from a clone.

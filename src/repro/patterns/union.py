@@ -26,7 +26,12 @@ class PatternUnion:
 
     Duplicate patterns are collapsed (they are logically idempotent under
     union) while the order of first appearance is preserved so that solver
-    traces and benchmark output are deterministic.
+    traces and benchmark output are deterministic.  Duplicates are detected
+    up to node renaming (:meth:`LabelPattern.canonical_form`): node names
+    carry no semantics, so two disjuncts that differ only in names match
+    exactly the same rankings — keeping both would inflate ``z`` and, for
+    the general solver, double the inclusion–exclusion subsets without
+    changing the probability.
     """
 
     __slots__ = ("_patterns",)
@@ -40,6 +45,19 @@ class PatternUnion:
                 unique.append(pattern)
         if not unique:
             raise ValueError("a pattern union needs at least one pattern")
+        if len(unique) > 1:
+            # Canonicalization is the expensive half of cache-key building;
+            # a single surviving pattern cannot hide a duplicate, so only
+            # multi-pattern unions pay for it.
+            kept: list[LabelPattern] = []
+            seen_forms: set[tuple] = set()
+            for pattern in unique:
+                form = pattern.canonical_form()
+                if form in seen_forms:
+                    continue
+                seen_forms.add(form)
+                kept.append(pattern)
+            unique = kept
         self._patterns = tuple(unique)
 
     # ------------------------------------------------------------------

@@ -1,0 +1,94 @@
+"""The query planner: an explicit plan IR with cost-based optimization.
+
+Evaluation used to be a monolithic path inside :func:`repro.query.engine
+.evaluate`, with the serving layer re-deriving its own dedup and ordering.
+This package makes the plan explicit (the seam classic probabilistic-
+database engines optimize through — Dalvi & Suciu's safe plans, Li &
+Deshpande's consensus answers both rewrite plans, not evaluators):
+
+* :mod:`repro.plan.nodes` — the typed DAG
+  (``SelectSessions -> GroundSessions -> CompileUnion -> Solve ->
+  AggregateSessions``, plus ``CombineQueries`` for batches);
+* :mod:`repro.plan.build` — the logical builder, (queries, db) -> plan;
+* :mod:`repro.plan.methods` — the single method-resolution path (cost-based
+  ``"auto"``, budgeted ``"auto-approx"``);
+* :mod:`repro.plan.passes` — the optimizer pipeline (union simplification,
+  method resolution, cost annotation, common-solve elimination, LPT
+  ordering);
+* :mod:`repro.plan.execute` — the executor running the frontier through
+  the unchanged solver/cache stack, bit-identical to the pre-plan engine;
+* :mod:`repro.plan.explain` — the ``explain()`` renderer behind
+  ``python -m repro explain``.
+
+Typical use::
+
+    from repro.plan import build_plan, optimize_plan, execute_plan
+
+    plan = build_plan(queries, db).optimize(canonical=True)
+    print(plan.explain())
+    execution = plan.execute(cache=cache, backend=backend)
+
+See DESIGN.md, "The query planner".
+"""
+
+from repro.plan.build import build_plan
+from repro.plan.execute import PlanExecution, assemble_results, execute_plan
+from repro.plan.explain import explain_plan
+from repro.plan.methods import (
+    APPROX_BUDGET_OPTION,
+    AUTO_APPROX_FALLBACK,
+    DEFAULT_APPROX_BUDGET,
+    classic_choice,
+    cost_based_choice,
+    resolve_solve_method,
+)
+from repro.plan.nodes import (
+    AggregateSessionsNode,
+    CombineQueriesNode,
+    CompileUnionNode,
+    GroundSessionsNode,
+    PlanNode,
+    QueryPlan,
+    SelectSessionsNode,
+    SolveNode,
+)
+from repro.plan.passes import (
+    annotate_costs,
+    default_passes,
+    eliminate_common_solves,
+    optimize_plan,
+    order_solves,
+    resolve_methods,
+    simplify_union,
+    simplify_unions,
+)
+
+__all__ = [
+    "APPROX_BUDGET_OPTION",
+    "AUTO_APPROX_FALLBACK",
+    "DEFAULT_APPROX_BUDGET",
+    "AggregateSessionsNode",
+    "CombineQueriesNode",
+    "CompileUnionNode",
+    "GroundSessionsNode",
+    "PlanExecution",
+    "PlanNode",
+    "QueryPlan",
+    "SelectSessionsNode",
+    "SolveNode",
+    "annotate_costs",
+    "assemble_results",
+    "build_plan",
+    "classic_choice",
+    "cost_based_choice",
+    "default_passes",
+    "eliminate_common_solves",
+    "execute_plan",
+    "explain_plan",
+    "optimize_plan",
+    "order_solves",
+    "resolve_methods",
+    "resolve_solve_method",
+    "simplify_union",
+    "simplify_unions",
+]

@@ -1,0 +1,159 @@
+"""The plan builder: (queries, db) -> a logical :class:`QueryPlan` DAG.
+
+The builder performs the *logical* phases of evaluation — session
+selection, session-atom grounding, pattern-union compilation — through the
+engine's existing primitives (:func:`repro.query.engine
+.compile_session_work`), records what happened in provenance nodes, and
+emits one :class:`~repro.plan.nodes.SolveNode` per satisfiable session:
+the *planned* solves.  No probability is computed here; the optimizer
+(:mod:`repro.plan.passes`) rewrites the solve frontier and the executor
+(:mod:`repro.plan.execute`) runs it.
+
+Labelings are computed once per distinct union object and shared by every
+session (and every solve node) that references the union, exactly as the
+pre-plan engine memoized them.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.patterns.labels import Labeling
+from repro.patterns.union import PatternUnion
+from repro.query.ast import ConjunctiveQuery
+from repro.query.classify import analyze
+from repro.query.compile import labeling_for_patterns
+from repro.query.engine import compile_session_work
+from repro.plan.nodes import (
+    AggregateSessionsNode,
+    CombineQueriesNode,
+    CompileUnionNode,
+    GroundSessionsNode,
+    QueryPlan,
+    SelectSessionsNode,
+    SolveNode,
+)
+
+
+def build_plan(
+    queries: "ConjunctiveQuery | Sequence[ConjunctiveQuery]",
+    db,
+    method: str = "auto",
+    options: "dict[str, Any] | None" = None,
+    group_sessions: bool = True,
+    session_limit: int | None = None,
+) -> QueryPlan:
+    """Build the logical plan of one query or a batch.
+
+    Parameters mirror :func:`repro.query.engine.evaluate`;
+    ``group_sessions=False`` marks the plan as non-groupable (the optimizer
+    then skips common-solve elimination, reproducing the naive baseline).
+    """
+    if isinstance(queries, ConjunctiveQuery):
+        queries = [queries]
+    plan = QueryPlan(
+        db,
+        list(queries),
+        method=method,
+        options=options,
+        group_sessions=group_sessions,
+        session_limit=session_limit,
+    )
+    for query_index, query in enumerate(plan.queries):
+        _build_query(plan, query_index, query)
+    if plan.n_queries > 1:
+        combine = CombineQueriesNode(
+            node_id=plan.new_id(),
+            inputs=tuple(plan.aggregates),
+            n_queries=plan.n_queries,
+        )
+        plan.add(combine)
+        plan.combine = combine.node_id
+    return plan
+
+
+def _build_query(plan: QueryPlan, query_index: int, query: ConjunctiveQuery) -> None:
+    analysis = analyze(query, plan.db)
+    prelation = plan.db.prelation(analysis.p_relation)
+    works = compile_session_work(
+        query, plan.db, analysis=analysis, session_limit=plan.session_limit
+    )
+
+    select = plan.add(
+        SelectSessionsNode(
+            node_id=plan.new_id(),
+            query_index=query_index,
+            p_relation=analysis.p_relation,
+            n_candidates=len(list(prelation.session_keys())),
+            n_selected=len(works),
+        )
+    )
+    ground = plan.add(
+        GroundSessionsNode(
+            node_id=plan.new_id(),
+            inputs=(select.node_id,),
+            query_index=query_index,
+            n_satisfiable=sum(1 for work in works if work.union is not None),
+            n_unsatisfiable=sum(1 for work in works if work.union is None),
+        )
+    )
+
+    # One CompileUnion node per distinct union object (compile_session_work
+    # already shares union objects across sessions with equal bindings) and
+    # one labeling per union, shared by all of its solve nodes.
+    union_nodes: dict[int, CompileUnionNode] = {}
+    labelings: dict[int, Labeling] = {}
+    items = prelation.items
+
+    def union_node_of(union: PatternUnion) -> CompileUnionNode:
+        found = union_nodes.get(id(union))
+        if found is None:
+            found = plan.add(
+                CompileUnionNode(
+                    node_id=plan.new_id(),
+                    inputs=(ground.node_id,),
+                    query_index=query_index,
+                    union=union,
+                )
+            )
+            union_nodes[id(union)] = found
+            labelings[id(union)] = labeling_for_patterns(
+                union.patterns, items, plan.db
+            )
+        return found
+
+    aggregate_items: list[tuple] = []
+    for work in works:
+        if work.union is None:
+            aggregate_items.append((work.key, None))
+            continue
+        compile_node = union_node_of(work.union)
+        compile_node.n_sessions += 1
+        solve = plan.add(
+            SolveNode(
+                node_id=plan.new_id(),
+                inputs=(compile_node.node_id,),
+                model=work.model,
+                labeling=labelings[id(work.union)],
+                union=work.union,
+                requested_method=plan.method,
+                options=plan.options,
+                sessions=[(query_index, work.key)],
+            )
+        )
+        plan.solve_order.append(solve.node_id)
+        plan.n_solves_planned += 1
+        aggregate_items.append((work.key, solve.node_id))
+
+    aggregate = plan.add(
+        AggregateSessionsNode(
+            node_id=plan.new_id(),
+            inputs=tuple(
+                solve_id for _, solve_id in aggregate_items if solve_id is not None
+            ),
+            query_index=query_index,
+            query=query,
+            items=aggregate_items,
+        )
+    )
+    plan.aggregates.append(aggregate.node_id)

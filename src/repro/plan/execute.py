@@ -1,0 +1,260 @@
+"""The plan executor: run a (optimized) :class:`QueryPlan` to results.
+
+Execution is deliberately thin — all the intelligence is in the plan.  The
+executor walks the surviving solve frontier in plan order, consults the
+shared :class:`~repro.service.cache.SolverCache` for cacheable nodes, runs
+what remains, and assembles per-query :class:`~repro.query.engine
+.QueryResult` objects through the engine's own aggregation
+(:func:`repro.query.engine.aggregate_sessions`) — which is what keeps plan
+execution bit-identical to the pre-plan evaluate path.
+
+Two modes:
+
+* **in-process** (``backend=None``) — each solve runs through
+  :func:`repro.query.engine.solve_session` on the live model/labeling/union
+  objects, with the caller's rng; this is the engine's single-query path;
+* **backend** (``backend=`` an :class:`~repro.service.executors
+  .ExecutionBackend`) — exact solves are frozen into picklable
+  :class:`~repro.service.executors.SolveTask` descriptors (reusing the
+  memoized canonical fingerprints) and shipped to the ``serial`` /
+  ``thread`` / ``process`` pool in the plan's LPT order; rng-driven solves
+  (the ``auto-approx`` fallback) stay in-process, in plan order, so their
+  draws are deterministic given the rng.  This is the serving layer's
+  batch path.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Hashable
+
+import numpy as np
+
+from repro.plan.methods import (
+    APPROXIMATE_METHODS,
+    AUTO_METHODS,
+    resolve_solve_method,
+)
+from repro.plan.nodes import QueryPlan, SolveNode
+from repro.query.engine import (
+    QueryResult,
+    SessionEvaluation,
+    aggregate_sessions,
+    solve_session,
+)
+from repro.service.cache import SolverCache
+from repro.service.executors import ExecutionBackend, make_solve_task
+
+
+@dataclass
+class PlanExecution:
+    """The raw outcome of executing a plan's solve frontier."""
+
+    #: solve node id -> (probability, solver name)
+    resolved: dict[int, tuple[float, str]] = field(default_factory=dict)
+    #: measured wall seconds per freshly executed solve node
+    seconds_by_solve: dict[int, float] = field(default_factory=dict)
+    #: node ids actually solved in this run (not served by the cache)
+    fresh: set[int] = field(default_factory=set)
+    #: node ids served by the shared SolverCache
+    cache_served: set[int] = field(default_factory=set)
+    #: name of the execution backend ("" for the in-process mode)
+    backend: str = ""
+    seconds: float = 0.0
+
+    @property
+    def n_executed(self) -> int:
+        return len(self.fresh)
+
+    @property
+    def n_cache_hits(self) -> int:
+        return len(self.cache_served)
+
+
+def _node_method(plan: QueryPlan, node: SolveNode) -> str:
+    """The node's concrete method, resolving lazily on unoptimized plans.
+
+    Lazy resolution must see the plan-level ``approx_budget`` (the builder
+    pops it out of the solver options), or an unoptimized ``auto-approx``
+    plan would silently budget against the default instead of the caller's
+    value and diverge from its optimized twin.
+    """
+    if node.method is not None:
+        return node.method
+    if node.requested_method in AUTO_METHODS:
+        return resolve_solve_method(
+            node.union,
+            node.requested_method,
+            node.labeling,
+            node.model,
+            node.options,
+            approx_budget=plan.approx_budget,
+        )
+    return node.requested_method
+
+
+def execute_plan(
+    plan: QueryPlan,
+    cache: SolverCache | None = None,
+    rng: "np.random.Generator | None" = None,
+    backend: "ExecutionBackend | None" = None,
+) -> PlanExecution:
+    """Run the plan's solve frontier; see the module docstring for modes."""
+    started = time.perf_counter()
+    execution = PlanExecution(backend=backend.name if backend else "")
+    pending: list[SolveNode] = []
+    for node in plan.solves():
+        if cache is not None and node.cacheable:
+            cached = cache.get(node.cache_key)
+            if cached is not None:
+                execution.resolved[node.node_id] = cached
+                execution.cache_served.add(node.node_id)
+                continue
+        pending.append(node)
+
+    if backend is None:
+        _run_in_process(plan, pending, execution, cache, rng)
+    else:
+        _run_on_backend(plan, pending, execution, backend, cache, rng)
+
+    execution.seconds = time.perf_counter() - started
+    return execution
+
+
+def _run_in_process(
+    plan: QueryPlan,
+    pending: list[SolveNode],
+    execution: PlanExecution,
+    cache: SolverCache | None,
+    rng,
+) -> None:
+    for node in pending:
+        solve_started = time.perf_counter()
+        probability, solver_name = solve_session(
+            node.model,
+            node.labeling,
+            node.union,
+            method=_node_method(plan, node),
+            rng=rng,
+            **node.options,
+        )
+        execution.seconds_by_solve[node.node_id] = (
+            time.perf_counter() - solve_started
+        )
+        execution.resolved[node.node_id] = (probability, solver_name)
+        execution.fresh.add(node.node_id)
+        if cache is not None and node.cacheable:
+            cache.put(node.cache_key, (probability, solver_name))
+
+
+def _run_on_backend(
+    plan: QueryPlan,
+    pending: list[SolveNode],
+    execution: PlanExecution,
+    backend: ExecutionBackend,
+    cache: SolverCache | None,
+    rng,
+) -> None:
+    exact = [
+        n for n in pending if _node_method(plan, n) not in APPROXIMATE_METHODS
+    ]
+    sampled = [
+        n for n in pending if _node_method(plan, n) in APPROXIMATE_METHODS
+    ]
+
+    tasks = [
+        make_solve_task(
+            node.model,
+            node.labeling,
+            node.union,
+            _node_method(plan, node),
+            node.options,
+            cost=node.cost or 0.0,
+            # The memoized fingerprint already holds the canonical labeling
+            # and union forms; don't re-freeze the expensive half.
+            labeling_form=node.fingerprint[0] if node.fingerprint else None,
+            union_form=node.fingerprint[1] if node.fingerprint else None,
+        )
+        for node in exact
+    ]
+    outcomes = backend.run(tasks)
+    fresh_pairs: list[tuple[Hashable, tuple[float, str]]] = []
+    for node, outcome in zip(exact, outcomes):
+        execution.resolved[node.node_id] = outcome.value
+        execution.seconds_by_solve[node.node_id] = outcome.seconds
+        execution.fresh.add(node.node_id)
+        if cache is not None and node.cacheable:
+            fresh_pairs.append((node.cache_key, outcome.value))
+    if cache is not None and fresh_pairs:
+        # One call so a persistent tier can flush the batch in a single
+        # transaction instead of one commit per solve.
+        cache.put_many(fresh_pairs)
+
+    # rng-driven fallbacks (auto-approx) run in-process, in plan order.
+    _run_in_process(plan, sampled, execution, cache=None, rng=rng)
+
+
+def assemble_results(
+    plan: QueryPlan,
+    execution: PlanExecution,
+    batched: bool = False,
+    with_cache: bool = False,
+) -> list[QueryResult]:
+    """Per-query results via the engine's shared aggregation.
+
+    The counters reproduce the pre-plan semantics exactly: per query,
+    ``n_solver_calls`` counts the solves executed fresh for it,
+    ``n_groups`` the distinct solve groups it references, and
+    ``stats["cache_hits"]`` the groups served by the shared cache (plus
+    batch-shared solves in the batch path); in the batch path ``seconds``
+    is the measured wall time of the fresh solves the query consumed.
+    """
+    results: list[QueryResult] = []
+    for aggregate in plan.aggregate_nodes():
+        per_session: list[SessionEvaluation] = []
+        group_keys: set[Hashable] = set()
+        fresh_ids: set[int] = set()
+        served_ids: set[int] = set()
+        for session_key, solve_id in aggregate.items:
+            if solve_id is None:
+                per_session.append(
+                    SessionEvaluation(session_key, 0.0, "unsatisfiable")
+                )
+                continue
+            node = plan.nodes[solve_id]
+            probability, solver_name = execution.resolved[solve_id]
+            group_keys.add(node.group_key)
+            if solve_id in execution.fresh:
+                fresh_ids.add(solve_id)
+            elif solve_id in execution.cache_served:
+                served_ids.add(solve_id)
+            per_session.append(
+                SessionEvaluation(session_key, probability, solver_name)
+            )
+        if batched:
+            stats = {
+                "batched": True,
+                "cache_hits": len(group_keys) - len(fresh_ids),
+            }
+            seconds = sum(
+                execution.seconds_by_solve.get(node_id, 0.0)
+                for node_id in fresh_ids
+            )
+        else:
+            stats = {"cache_hits": len(served_ids)} if with_cache else {}
+            seconds = execution.seconds
+        results.append(
+            QueryResult(
+                probability=aggregate_sessions(per_session),
+                per_session=per_session,
+                n_sessions=len(per_session),
+                n_solver_calls=len(fresh_ids),
+                n_groups=len(group_keys),
+                grouped=True if batched else plan.group_sessions,
+                method=plan.method,
+                seconds=seconds,
+                stats=stats,
+            )
+        )
+    return results

@@ -1,0 +1,147 @@
+"""``plan.explain()``: render the optimized DAG with per-node costs.
+
+The renderer is deliberately plain text (stable across runs for the golden
+test): one section per query showing the logical pipeline top-down, the
+surviving solve frontier with resolved methods, state-count estimates and
+session fan-in, and a footer with the applied passes and the planned /
+eliminated / frontier counters.  Costs print in engineering notation
+(``~1.2e+03``) so the output is deterministic across platforms.
+"""
+
+from __future__ import annotations
+
+from repro.plan.nodes import (
+    AggregateSessionsNode,
+    CompileUnionNode,
+    GroundSessionsNode,
+    QueryPlan,
+    SelectSessionsNode,
+    SolveNode,
+)
+
+
+def _cost(value: "float | None") -> str:
+    if value is None:
+        return "?"
+    return f"~{value:.1e}"
+
+
+def _query_text(plan: QueryPlan, query_index: int) -> str:
+    return str(plan.queries[query_index])
+
+
+def explain_plan(plan: QueryPlan, execution=None) -> str:
+    """Render ``plan`` (optionally with execution outcomes) as text."""
+    lines: list[str] = []
+    n = plan.n_queries
+    lines.append(
+        f"== query plan: {n} quer{'y' if n == 1 else 'ies'}, "
+        f"method={plan.method}, "
+        f"group_sessions={'on' if plan.group_sessions else 'off'} =="
+    )
+
+    selects = {
+        node.query_index: node
+        for node in plan.nodes.values()
+        if isinstance(node, SelectSessionsNode)
+    }
+    grounds = {
+        node.query_index: node
+        for node in plan.nodes.values()
+        if isinstance(node, GroundSessionsNode)
+    }
+    compiles: dict[int, list[CompileUnionNode]] = {}
+    for node in plan.nodes.values():
+        if isinstance(node, CompileUnionNode):
+            compiles.setdefault(node.query_index, []).append(node)
+
+    described: set[int] = set()
+    for aggregate in plan.aggregate_nodes():
+        query_index = aggregate.query_index
+        lines.append(f"q{query_index}: {_query_text(plan, query_index)}")
+        select = selects.get(query_index)
+        if select is not None:
+            lines.append(
+                f"  SelectSessions[{select.p_relation}]"
+                f"  sessions {select.n_candidates} -> {select.n_selected}"
+            )
+        ground = grounds.get(query_index)
+        if ground is not None:
+            lines.append(
+                f"  GroundSessions  satisfiable={ground.n_satisfiable}"
+                f" unsatisfiable={ground.n_unsatisfiable}"
+            )
+        for compile_node in sorted(
+            compiles.get(query_index, ()), key=lambda c: c.node_id
+        ):
+            dropped = compile_node.annotations.get("n_disjuncts_dropped")
+            extra = f" ({dropped} duplicate disjuncts dropped)" if dropped else ""
+            lines.append(
+                f"  CompileUnion #{compile_node.node_id}"
+                f"  z={compile_node.z} sessions={compile_node.n_sessions}{extra}"
+            )
+        lines.extend(_solve_lines(plan, aggregate, described, execution))
+        lines.append(
+            f"  AggregateSessions  Pr(Q|D) = 1 - prod(1 - p_s)"
+            f" over {len(aggregate.items)} sessions"
+        )
+    if plan.combine is not None:
+        lines.append(f"CombineQueries  {plan.n_queries} queries")
+
+    lines.append(
+        "passes: "
+        + (", ".join(plan.passes_applied) if plan.passes_applied else "(none)")
+    )
+    lines.append(
+        f"solves: planned={plan.n_solves_planned}"
+        f" eliminated={plan.n_solves_eliminated}"
+        f" frontier={len(plan.solve_order)}"
+    )
+    if execution is not None:
+        lines.append(
+            f"executed: {execution.n_executed} fresh,"
+            f" {execution.n_cache_hits} cache-served"
+            + (f", backend={execution.backend}" if execution.backend else "")
+        )
+    return "\n".join(lines)
+
+
+def _solve_lines(
+    plan: QueryPlan,
+    aggregate: AggregateSessionsNode,
+    described: set[int],
+    execution,
+) -> list[str]:
+    lines: list[str] = []
+    for solve_id in aggregate.solve_ids():
+        node = plan.nodes[solve_id]
+        assert isinstance(node, SolveNode)
+        if solve_id in described:
+            lines.append(f"  Solve #{solve_id}  (shared; see above)")
+            continue
+        described.add(solve_id)
+        method = node.method or node.requested_method
+        query_indices = sorted({index for index, _ in node.sessions})
+        shared = (
+            "  shared_by=" + ",".join(f"q{index}" for index in query_indices)
+            if len(query_indices) > 1
+            else ""
+        )
+        outcome = ""
+        if execution is not None:
+            if solve_id in execution.cache_served:
+                outcome = "  [cache]"
+            elif solve_id in execution.fresh:
+                _, solver_name = execution.resolved[solve_id]
+                outcome = f"  [solved: {solver_name}]"
+        hint = (
+            "  (lifted estimated cheaper)"
+            if "lifted_hint" in node.annotations
+            else ""
+        )
+        lines.append(
+            f"  Solve #{solve_id}  method={method}"
+            f" cost{_cost(node.cost)} sessions={len(node.sessions)}"
+            f"{shared}{outcome}{hint}"
+        )
+    return lines

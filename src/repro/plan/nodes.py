@@ -1,0 +1,298 @@
+"""The plan IR: a typed DAG of logical/physical query-plan nodes.
+
+Evaluating a Boolean CQ over a RIM-PPD decomposes into a fixed logical
+shape (Section 3.1 of the paper):
+
+    SelectSessions -> GroundSessions -> CompileUnion -> Solve -> AggregateSessions
+
+with a ``CombineQueries`` root when a batch of queries is planned together.
+Classic probabilistic-database engines (Dalvi & Suciu's safe plans, Li &
+Deshpande's consensus answers) get their leverage from making that shape an
+explicit, rewritable object; this module is that object for this engine.
+
+The nodes split into two layers:
+
+* **provenance nodes** (``SelectSessionsNode``, ``GroundSessionsNode``,
+  ``CompileUnionNode``) record what the builder did — how many sessions a
+  query selected, how the session-atom joins grounded, which pattern unions
+  compilation produced — so ``explain()`` can show the whole pipeline;
+* **physical nodes** (``SolveNode``, ``AggregateSessionsNode``,
+  ``CombineQueriesNode``) are what the optimizer rewrites and the executor
+  runs.  A ``SolveNode`` starts as one *planned* solve per satisfiable
+  session; the optimizer passes (:mod:`repro.plan.passes`) resolve its
+  method, annotate its cost, and merge identical nodes, so the executor
+  (:mod:`repro.plan.execute`) only ever runs the surviving frontier.
+
+The IR deliberately reuses the engine's value types (models, labelings,
+:class:`~repro.patterns.union.PatternUnion`) rather than re-encoding them:
+a plan is a *schedule over existing work units*, and executing it through
+the unchanged solver/cache stack is what keeps results bit-identical to the
+pre-plan evaluate path.  See DESIGN.md, "The query planner".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Hashable
+
+from repro.patterns.labels import Labeling
+from repro.patterns.union import PatternUnion
+from repro.plan.methods import (
+    APPROX_BUDGET_OPTION,
+    APPROXIMATE_METHODS,
+    DEFAULT_APPROX_BUDGET,
+)
+from repro.query.ast import ConjunctiveQuery
+from repro.query.engine import SessionKey
+
+
+@dataclass
+class PlanNode:
+    """Base of every plan node: an id, input edges, and free annotations."""
+
+    node_id: int
+    inputs: tuple[int, ...] = ()
+    #: Free-form annotations written by optimizer passes (costs, hints,
+    #: eliminated counts); rendered verbatim by ``explain()``.
+    annotations: dict[str, Any] = field(default_factory=dict)
+
+    kind = "node"
+
+
+@dataclass
+class SelectSessionsNode(PlanNode):
+    """Session selection of one query against its p-relation."""
+
+    query_index: int = 0
+    p_relation: str = ""
+    n_candidates: int = 0
+    n_selected: int = 0
+
+    kind = "select_sessions"
+
+
+@dataclass
+class GroundSessionsNode(PlanNode):
+    """Per-session binding + V+(Q) grounding (Algorithm 2) of one query."""
+
+    query_index: int = 0
+    n_satisfiable: int = 0
+    n_unsatisfiable: int = 0
+
+    kind = "ground_sessions"
+
+
+@dataclass
+class CompileUnionNode(PlanNode):
+    """One distinct compiled pattern union of a query (shared by sessions)."""
+
+    query_index: int = 0
+    union: PatternUnion | None = None
+    n_sessions: int = 0
+
+    kind = "compile_union"
+
+    @property
+    def z(self) -> int:
+        return self.union.z if self.union is not None else 0
+
+
+@dataclass
+class SolveNode(PlanNode):
+    """One session solve: the unit the optimizer rewrites and merges.
+
+    Built as one node per satisfiable session; after common-solve
+    elimination a node may carry many ``sessions`` (the consumers that will
+    read its probability).  ``method`` starts as the *requested* method and
+    is rewritten to a concrete solver name by the method-resolution pass;
+    ``cost`` is the planner's DP state-count estimate; ``cache_key`` is the
+    canonical key used both for elimination and for the shared
+    :class:`~repro.service.cache.SolverCache` (None when the plan groups by
+    object identity, matching the engine's cacheless behavior).
+    """
+
+    model: Any = None
+    labeling: Labeling | None = None
+    union: PatternUnion | None = None
+    requested_method: str = "auto"
+    method: str | None = None
+    options: dict[str, Any] = field(default_factory=dict)
+    #: (query_index, session_key) pairs consuming this solve, in plan order.
+    sessions: list[tuple[int, SessionKey]] = field(default_factory=list)
+    cost: float | None = None
+    cache_key: Hashable | None = None
+    #: (labeling_form, union_form, method, options) — memoized canonical
+    #: request fingerprint, shared with cache keys and SolveTask transport.
+    fingerprint: tuple | None = None
+
+    kind = "solve"
+
+    @property
+    def identity_key(self) -> Hashable:
+        """The engine's cacheless grouping key: same objects, same solve."""
+        return (id(self.model), self.union)
+
+    @property
+    def group_key(self) -> Hashable:
+        """The key elimination and result counters group this node by."""
+        return self.cache_key if self.cache_key is not None else self.identity_key
+
+    @property
+    def cacheable(self) -> bool:
+        """True when the resolved solve may consult/populate a SolverCache."""
+        return (
+            self.cache_key is not None
+            and (self.method or self.requested_method) not in APPROXIMATE_METHODS
+        )
+
+
+@dataclass
+class AggregateSessionsNode(PlanNode):
+    """Independent-session aggregation of one query.
+
+    ``items`` lists the query's sessions in selection order, each pointing
+    at the :class:`SolveNode` that produces its probability — or ``None``
+    for sessions where the query is unsatisfiable (probability 0).
+    """
+
+    query_index: int = 0
+    query: ConjunctiveQuery | None = None
+    #: (session_key, solve node id | None), in session-selection order.
+    items: list[tuple[SessionKey, int | None]] = field(default_factory=list)
+
+    kind = "aggregate_sessions"
+
+    def solve_ids(self) -> list[int]:
+        """Distinct solve-node ids this query consumes, first-use order."""
+        seen: list[int] = []
+        for _, solve_id in self.items:
+            if solve_id is not None and solve_id not in seen:
+                seen.append(solve_id)
+        return seen
+
+
+@dataclass
+class CombineQueriesNode(PlanNode):
+    """The batch root: per-query aggregates combined into one BatchResult."""
+
+    n_queries: int = 0
+
+    kind = "combine_queries"
+
+
+class QueryPlan:
+    """A buildable, rewritable, executable plan for one query or a batch.
+
+    The plan owns its nodes (``nodes[node_id]``), an explicit execution
+    order over the surviving solve frontier (``solve_order``), one
+    :class:`AggregateSessionsNode` per query (``aggregates``), and the
+    counters the optimizer passes maintain (``n_solves_planned``,
+    ``n_solves_eliminated``, ``passes_applied``).  ``optimize`` /
+    ``execute`` / ``explain`` live in their own modules
+    (:mod:`repro.plan.passes`, :mod:`repro.plan.execute`,
+    :mod:`repro.plan.explain`); the convenience methods here delegate.
+    """
+
+    def __init__(
+        self,
+        db,
+        queries: list[ConjunctiveQuery],
+        method: str = "auto",
+        options: dict[str, Any] | None = None,
+        group_sessions: bool = True,
+        session_limit: int | None = None,
+    ):
+        self.db = db
+        self.queries = queries
+        self.method = method
+        self.options = dict(options or {})
+        self.group_sessions = group_sessions
+        self.session_limit = session_limit
+        #: The auto-approx state-count budget is plan-level configuration,
+        #: not a solver option: it is popped *unconditionally* so it never
+        #: reaches a solver signature or perturbs a cache key, whatever
+        #: method the plan was built with (it only takes effect under
+        #: ``"auto-approx"``).
+        budget = self.options.pop(APPROX_BUDGET_OPTION, DEFAULT_APPROX_BUDGET)
+        self.approx_budget: float | None = (
+            float(budget) if method == "auto-approx" else None
+        )
+
+        self.nodes: dict[int, PlanNode] = {}
+        #: Solve-node ids in execution order (rewritten by the passes).
+        self.solve_order: list[int] = []
+        #: Per-query aggregate node ids, in query order.
+        self.aggregates: list[int] = []
+        self.combine: int | None = None
+
+        self.passes_applied: list[str] = []
+        self.n_solves_planned = 0
+        self.n_solves_eliminated = 0
+        self._next_id = 0
+
+    # ------------------------------------------------------------------
+    # Construction helpers (used by the builder and the passes)
+    # ------------------------------------------------------------------
+
+    def add(self, node: PlanNode) -> PlanNode:
+        """Register a node built with a fresh id from :meth:`new_id`."""
+        self.nodes[node.node_id] = node
+        return node
+
+    def new_id(self) -> int:
+        node_id = self._next_id
+        self._next_id += 1
+        return node_id
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+
+    @property
+    def n_queries(self) -> int:
+        return len(self.queries)
+
+    def solves(self) -> list[SolveNode]:
+        """The surviving solve frontier, in execution order."""
+        return [self.nodes[node_id] for node_id in self.solve_order]
+
+    def aggregate_nodes(self) -> list[AggregateSessionsNode]:
+        return [self.nodes[node_id] for node_id in self.aggregates]
+
+    def stats(self) -> dict[str, int]:
+        """The plan-level counters the serving layer reports."""
+        return {
+            "n_solves_planned": self.n_solves_planned,
+            "n_solves_eliminated": self.n_solves_eliminated,
+            "n_passes_applied": len(self.passes_applied),
+        }
+
+    # ------------------------------------------------------------------
+    # Delegating conveniences
+    # ------------------------------------------------------------------
+
+    def optimize(self, passes=None, canonical: bool | None = None) -> "QueryPlan":
+        """Apply the default (or given) pass pipeline in place."""
+        from repro.plan.passes import optimize_plan
+
+        return optimize_plan(self, passes=passes, canonical=canonical)
+
+    def execute(self, **kwargs):
+        """Run the plan; see :func:`repro.plan.execute.execute_plan`."""
+        from repro.plan.execute import execute_plan
+
+        return execute_plan(self, **kwargs)
+
+    def explain(self, execution=None) -> str:
+        """Render the plan DAG with per-node cost annotations."""
+        from repro.plan.explain import explain_plan
+
+        return explain_plan(self, execution=execution)
+
+    def __repr__(self) -> str:
+        return (
+            f"QueryPlan(queries={self.n_queries}, solves={len(self.solve_order)}, "
+            f"planned={self.n_solves_planned}, "
+            f"eliminated={self.n_solves_eliminated}, "
+            f"passes={self.passes_applied})"
+        )

@@ -23,6 +23,14 @@ dedup across queries: session solves are keyed canonically
 served from the cache instead of re-solving — see
 :class:`repro.service.service.PreferenceService` for the batch layer on
 top.
+
+Since the planner refactor, :func:`evaluate` is a thin wrapper over the
+explicit query plan (:mod:`repro.plan`): build the plan DAG, run the
+optimizer passes (which subsume the grouping above), execute the surviving
+solve frontier.  The primitives this module keeps —
+:func:`compile_session_work`, :func:`solve_session`,
+:func:`aggregate_sessions` — are what the plan builder and executor are
+made of, and remain the public per-session API.
 """
 
 from __future__ import annotations
@@ -41,13 +49,11 @@ from repro.patterns.matching import union_predicate
 from repro.patterns.union import PatternUnion
 from repro.query.ast import ConjunctiveQuery, is_constant, is_variable
 from repro.query.classify import QueryAnalysis, analyze
-from repro.query.compile import compile_itemwise, labeling_for_patterns
+from repro.query.compile import compile_itemwise
 from repro.query.ground import decompose_query
 from repro.rim.mixture import MallowsMixture
 from repro.rim.sampling import empirical_probability
 from repro.service.cache import SolverCache
-from repro.service.keys import request_fingerprint, session_cache_key
-from repro.solvers.dispatch import resolve_method
 from repro.solvers.dispatch import solve as exact_solve
 
 SessionKey = tuple[Hashable, ...]
@@ -350,18 +356,31 @@ def evaluate(
     group_sessions: bool = True,
     session_limit: int | None = None,
     cache: SolverCache | None = None,
+    optimize: bool = True,
     **solver_options,
 ) -> QueryResult:
     """Evaluate a Boolean CQ: the probability it holds in a random world.
+
+    A thin build -> optimize -> execute wrapper over the query planner
+    (:mod:`repro.plan`): the query is compiled into an explicit plan DAG,
+    the optimizer passes resolve solver methods, annotate costs, and merge
+    identical solves, and the executor runs the surviving frontier through
+    the unchanged solver stack — bit-identical to the historical monolithic
+    path, probabilities and solver attributions included.
 
     Parameters
     ----------
     method:
         An exact solver name (``"auto"``, ``"two_label"``, ``"bipartite"``,
-        ``"general"``, ``"lifted"``, ``"brute"``) or an approximate one
-        (``"mis_amp_lite"``, ``"mis_amp_adaptive"``, ``"rejection"``).
+        ``"general"``, ``"lifted"``, ``"brute"``), an approximate one
+        (``"mis_amp_lite"``, ``"mis_amp_adaptive"``, ``"rejection"``), or
+        ``"auto-approx"`` — auto resolution with an opt-in MIS-AMP fallback
+        for solves whose estimated DP state count exceeds the
+        ``approx_budget`` solver option (requires ``rng`` when it
+        triggers); see :mod:`repro.plan.methods`.
     group_sessions:
-        Solve each distinct (model, union) pair once (Section 6.4).
+        Solve each distinct (model, union) pair once (Section 6.4) — the
+        plan's common-solve elimination pass.
     session_limit:
         Evaluate only the first N selected sessions (for scalability
         sweeps).
@@ -374,115 +393,49 @@ def evaluate(
         ``group_sessions=False`` (the naive baseline must re-solve every
         session; a cache would silently reintroduce dedup).  The number of
         cross-query hits is reported in ``QueryResult.stats["cache_hits"]``.
+    optimize:
+        Apply the optimizer pass pipeline (default).  ``False`` executes
+        the unoptimized plan — one solve per session, no reordering, and
+        no cache use (canonical keys are an optimizer product) — the
+        reference the per-pass equivalence tests compare against.
     solver_options:
         Forwarded to the chosen solver (e.g. ``n_proposals=10`` for
         MIS-AMP-lite, ``time_budget=60`` for exact solvers).
     """
+    # Deferred: the plan package builds on this module's primitives.
+    from repro.plan.build import build_plan
+    from repro.plan.execute import assemble_results, execute_plan
+    from repro.plan.passes import optimize_plan
+
     started = time.perf_counter()
-    analysis = analyze(query, db)
-    works = compile_session_work(
-        query, db, analysis=analysis, session_limit=session_limit
-    )
-    prelation_items = db.prelation(analysis.p_relation).items
+    # Canonical cache keys are computed by the optimizer's elimination
+    # pass, so the unoptimized reference plan is also cacheless — it is
+    # the naive baseline, not a differently-keyed cache client.
     use_cache = (
         cache is not None
         and method not in APPROXIMATE_METHODS
         and group_sessions
+        and optimize
     )
-
-    labeling_cache: dict[PatternUnion, Labeling] = {}
-
-    def labeling_of(union: PatternUnion) -> Labeling:
-        cached = labeling_cache.get(union)
-        if cached is None:
-            cached = labeling_for_patterns(
-                union.patterns, prelation_items, db
-            )
-            labeling_cache[union] = cached
-        return cached
-
-    # Resolve "auto" once per union: the concrete method is what the cache
-    # keys on (so an auto request and its explicit twin share one entry)
-    # and what the per-session solver attribution reports.
-    method_cache: dict[PatternUnion, str] = {}
-
-    def method_of(union: PatternUnion) -> str:
-        if method in APPROXIMATE_METHODS:
-            return method
-        cached = method_cache.get(union)
-        if cached is None:
-            cached = resolve_method(union, method)
-            method_cache[union] = cached
-        return cached
-
-    # The model-independent half of a canonical key is expensive (pattern
-    # canonicalization) and shared by every session with the same union
-    # object — memoize it alongside the labeling.
-    fingerprint_cache: dict[PatternUnion, tuple] = {}
-
-    def fingerprint_of(union: PatternUnion) -> tuple:
-        cached = fingerprint_cache.get(union)
-        if cached is None:
-            cached = request_fingerprint(
-                labeling_of(union), union, method_of(union), solver_options
-            )
-            fingerprint_cache[union] = cached
-        return cached
-
-    per_session: list[SessionEvaluation] = []
-    n_solver_calls = 0
-    n_cache_hits = 0
-    group_cache: dict[Hashable, tuple[float, str]] = {}
-    group_keys: set[Hashable] = set()
-    for work in works:
-        if work.union is None:
-            per_session.append(SessionEvaluation(work.key, 0.0, "unsatisfiable"))
-            continue
-        if use_cache:
-            group_key: Hashable = session_cache_key(
-                work.model, labeling_of(work.union), work.union,
-                method_of(work.union), solver_options,
-                fingerprint=fingerprint_of(work.union),
-            )
-        else:
-            group_key = (id(work.model), work.union)
-        group_keys.add(group_key)
-        cached_outcome = (
-            group_cache.get(group_key) if group_sessions else None
-        )
-        if cached_outcome is None and use_cache:
-            cached_outcome = cache.get(group_key)
-            if cached_outcome is not None:
-                n_cache_hits += 1
-                group_cache[group_key] = cached_outcome
-        if cached_outcome is not None:
-            probability, solver_name = cached_outcome
-        else:
-            probability, solver_name = solve_session(
-                work.model,
-                labeling_of(work.union),
-                work.union,
-                method=method_of(work.union),
-                rng=rng,
-                **solver_options,
-            )
-            n_solver_calls += 1
-            if group_sessions:
-                group_cache[group_key] = (probability, solver_name)
-            if use_cache:
-                cache.put(group_key, (probability, solver_name))
-        per_session.append(
-            SessionEvaluation(work.key, probability, solver_name)
-        )
-
-    return QueryResult(
-        probability=aggregate_sessions(per_session),
-        per_session=per_session,
-        n_sessions=len(per_session),
-        n_solver_calls=n_solver_calls,
-        n_groups=len(group_keys),
-        grouped=group_sessions,
+    plan = build_plan(
+        query,
+        db,
         method=method,
-        seconds=time.perf_counter() - started,
-        stats={"cache_hits": n_cache_hits} if use_cache else {},
+        options=solver_options,
+        group_sessions=group_sessions,
+        session_limit=session_limit,
     )
+    if optimize:
+        optimize_plan(plan, canonical=use_cache)
+    execution = execute_plan(plan, cache=cache if use_cache else None, rng=rng)
+    if use_cache:
+        cache.record_plan(
+            plan.n_solves_planned,
+            plan.n_solves_eliminated,
+            len(plan.passes_applied),
+        )
+    result = assemble_results(
+        plan, execution, batched=False, with_cache=use_cache
+    )[0]
+    result.seconds = time.perf_counter() - started
+    return result

@@ -18,13 +18,25 @@ from typing import Any, Callable, Hashable
 
 @dataclass(frozen=True)
 class CacheStats:
-    """A point-in-time snapshot of cache counters."""
+    """A point-in-time snapshot of cache counters.
+
+    The plan-level counters (``n_solves_planned``, ``n_solves_eliminated``,
+    ``n_passes_applied``) accumulate what the query planner
+    (:mod:`repro.plan`) reported through :meth:`SolverCache.record_plan`:
+    how many per-session solves the plans built against this cache
+    contained, how many the optimizer's common-solve elimination merged
+    away before any solver ran, and how many optimizer passes were applied
+    in total.
+    """
 
     hits: int
     misses: int
     evictions: int
     size: int
     capacity: int
+    n_solves_planned: int = 0
+    n_solves_eliminated: int = 0
+    n_passes_applied: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -40,6 +52,9 @@ class CacheStats:
             "size": self.size,
             "capacity": self.capacity,
             "hit_rate": self.hit_rate,
+            "n_solves_planned": self.n_solves_planned,
+            "n_solves_eliminated": self.n_solves_eliminated,
+            "n_passes_applied": self.n_passes_applied,
         }
 
 
@@ -67,6 +82,9 @@ class SolverCache:
         self._hits = 0
         self._misses = 0
         self._evictions = 0
+        self._n_solves_planned = 0
+        self._n_solves_eliminated = 0
+        self._n_passes_applied = 0
 
     @property
     def capacity(self) -> int:
@@ -129,11 +147,23 @@ class SolverCache:
         with self._lock:
             self._data.clear()
 
+    def record_plan(
+        self, n_planned: int, n_eliminated: int, n_passes: int
+    ) -> None:
+        """Accumulate one executed plan's counters (see :class:`CacheStats`)."""
+        with self._lock:
+            self._n_solves_planned += n_planned
+            self._n_solves_eliminated += n_eliminated
+            self._n_passes_applied += n_passes
+
     def reset_stats(self) -> None:
         with self._lock:
             self._hits = 0
             self._misses = 0
             self._evictions = 0
+            self._n_solves_planned = 0
+            self._n_solves_eliminated = 0
+            self._n_passes_applied = 0
 
     def stats(self) -> CacheStats:
         with self._lock:
@@ -143,4 +173,7 @@ class SolverCache:
                 evictions=self._evictions,
                 size=len(self._data),
                 capacity=self._capacity,
+                n_solves_planned=self._n_solves_planned,
+                n_solves_eliminated=self._n_solves_eliminated,
+                n_passes_applied=self._n_passes_applied,
             )

@@ -59,12 +59,18 @@ def _as_union(union_or_pattern) -> PatternUnion:
 
 
 def _resolve_method(union: PatternUnion, method: str) -> str:
-    """Resolve ``"auto"`` so an auto request collides with its explicit twin."""
+    """Resolve ``"auto"`` so an auto request collides with its explicit twin.
+
+    Routed through the single plan-level resolution path
+    (:mod:`repro.plan.methods`), the same one the optimizer's
+    method-resolution pass and the solver dispatch use — auto and explicit
+    requests therefore cannot disagree on cache keys.
+    """
     if method != "auto":
         return method
-    from repro.solvers.dispatch import resolve_method  # deferred: import cycle
+    from repro.plan.methods import resolve_solve_method  # deferred: import cycle
 
-    return resolve_method(union, method)
+    return resolve_solve_method(union, method)
 
 
 def _freeze_options(solver_options: Mapping[str, Any] | None) -> tuple:

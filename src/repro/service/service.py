@@ -9,18 +9,20 @@ and generalizes the paper's within-query identical-request grouping
 * **across queries** — session solves are keyed canonically
   (:mod:`repro.service.keys`), so a (model, labeling, union) triple solved
   for one query is reused by every later query, in the same batch or not;
-* **across a batch** — :meth:`PreferenceService.evaluate_many` compiles a
-  whole batch first, deduplicates the distinct solves batch-wide, executes
-  them on a configurable ``concurrent.futures`` worker pool, and only then
+* **across a batch** — :meth:`PreferenceService.evaluate_many` plans a
+  whole batch as one query-plan DAG (:mod:`repro.plan`), lets the
+  optimizer's common-solve elimination merge identical solves batch-wide,
+  executes the surviving frontier on a configurable backend, and only then
   assembles per-query results with cache/timing metadata.
 
-Distinct solves are an explicit, schedulable work list rather than an
-accident of per-query iteration: the planner (:mod:`repro.service.planner`)
-estimates each solve's DP state count and orders the list largest-first,
-and a pluggable execution backend (:mod:`repro.service.executors`) runs it
-— ``serial``, ``thread``, or ``process``, the last shipping picklable
-``SolveTask`` descriptors to a ``ProcessPoolExecutor`` so the pure-Python
-exact DP solvers actually scale across cores.  With ``cache_db=`` the
+Distinct solves are an explicit, schedulable plan rather than an accident
+of per-query iteration: the optimizer annotates every solve with the cost
+model's DP state-count estimate (:mod:`repro.service.planner`) and orders
+the frontier largest-first, and a pluggable execution backend
+(:mod:`repro.service.executors`) runs it — ``serial``, ``thread``, or
+``process``, the last shipping picklable ``SolveTask`` descriptors to a
+``ProcessPoolExecutor`` so the pure-Python exact DP solvers actually scale
+across cores.  With ``cache_db=`` the
 in-memory cache gains a SQLite tier (:mod:`repro.service.persist`), so warm
 state survives restarts.  Sampling-method requests run through the batched
 kernels of :mod:`repro.kernels` (DESIGN.md Section 7) by default.  See
@@ -32,38 +34,25 @@ from __future__ import annotations
 import time
 import warnings
 from dataclasses import dataclass, field
-from typing import Any, Hashable, Iterator, Sequence
+from typing import Iterator, Sequence
 
 import numpy as np
 
 from repro.db.database import PPDatabase
-from repro.patterns.labels import Labeling
-from repro.patterns.union import PatternUnion
+from repro.plan.build import build_plan
+from repro.plan.execute import assemble_results, execute_plan
+from repro.plan.passes import optimize_plan
 from repro.query.ast import ConjunctiveQuery
-from repro.query.classify import analyze
-from repro.query.compile import labeling_for_patterns
-from repro.query.engine import (
-    APPROXIMATE_METHODS,
-    QueryResult,
-    SessionEvaluation,
-    SessionKey,
-    aggregate_sessions,
-    compile_session_work,
-    evaluate,
-)
+from repro.query.engine import APPROXIMATE_METHODS, QueryResult, evaluate
 from repro.query.parser import parse_query
 from repro.service.cache import SolverCache
 from repro.service.executors import (
     ExecutionBackend,
     ProcessBackend,
     SerialBackend,
-    make_solve_task,
     resolve_backend,
 )
-from repro.service.keys import request_fingerprint, session_cache_key
 from repro.service.persist import PersistentSolverCache
-from repro.service.planner import estimate_solve_states, largest_first_order
-from repro.solvers.dispatch import resolve_method
 
 
 @dataclass
@@ -96,21 +85,6 @@ class BatchResult:
 
     def __getitem__(self, index: int) -> QueryResult:
         return self.results[index]
-
-
-@dataclass
-class _SessionEntry:
-    """One session of one query, ready to be grouped batch-wide."""
-
-    session_key: SessionKey
-    cache_key: Hashable | None  # None: the query is false on this session
-    model: Any = None
-    labeling: Labeling | None = None
-    union: PatternUnion | None = None
-    #: The concrete solver method ("auto" resolved per union).
-    method: str = "auto"
-    #: The request fingerprint: (labeling form, union form, method, options).
-    fingerprint: tuple | None = None
 
 
 class PreferenceService:
@@ -239,9 +213,12 @@ class PreferenceService:
         exactly (same aggregation, same clamping, and — through the
         canonical ``SolveTask`` round-trip — bit-identical probabilities on
         every backend); the batch metadata reports how much work the
-        grouping and the cache saved.  The distinct solves are ordered
-        largest-first by the planner's state-count estimate and executed on
-        the configured backend.  Sampling methods (``mis_amp_*``,
+        grouping and the cache saved.  The whole batch is planned as one
+        query-plan DAG (:mod:`repro.plan`): the optimizer's common-solve
+        elimination merges identical solves across sessions and queries,
+        annotates the survivors with state-count estimates, LPT-orders the
+        frontier, and the executor runs it on the configured backend.
+        Sampling methods (``mis_amp_*``,
         ``rejection``) are rng-driven and non-cacheable, so they fall back
         to sequential evaluation (a parallelism request is then warned
         about, not silently ignored) — each solve still draws and weighs
@@ -298,194 +275,40 @@ class PreferenceService:
                 backend="serial",
             )
 
-        compiled = [self._compile_query(query, db, method, options, session_limit)
-                    for query in parsed]
-
-        # Batch-wide dedup: one task per distinct canonical key not cached.
-        pending: dict[Hashable, _SessionEntry] = {}
-        resolved: dict[Hashable, tuple[float, str]] = {}
-        n_cache_hits = 0
-        for entries in compiled:
-            for entry in entries:
-                key = entry.cache_key
-                if key is None or key in pending or key in resolved:
-                    continue
-                cached = self.cache.get(key)
-                if cached is not None:
-                    resolved[key] = cached
-                    n_cache_hits += 1
-                else:
-                    pending[key] = entry
-
-        execution = resolve_backend(
+        # Build one plan for the whole batch: per-query logical nodes under
+        # a CombineQueries root, then the optimizer's canonical common-solve
+        # elimination subsumes the batch-wide dedup dicts this method used
+        # to maintain by hand (solves merge across sessions AND queries).
+        plan = build_plan(
+            parsed,
+            db,
+            method=method,
+            options=options,
+            group_sessions=True,
+            session_limit=session_limit,
+        )
+        optimize_plan(plan, canonical=True)
+        execution_backend = resolve_backend(
             backend if backend is not None else self.backend,
             max_workers if max_workers is not None else self.max_workers,
         )
-        seconds_by_key = self._run_pending(pending, resolved, execution, options)
-
-        results = [
-            self._assemble(entries, resolved, pending, method, seconds_by_key)
-            for entries in compiled
-        ]
+        execution = execute_plan(
+            plan, cache=self.cache, rng=rng, backend=execution_backend
+        )
+        self.cache.record_plan(
+            plan.n_solves_planned,
+            plan.n_solves_eliminated,
+            len(plan.passes_applied),
+        )
+        results = assemble_results(plan, execution, batched=True)
         return BatchResult(
             results=results,
             n_queries=len(results),
             n_sessions=sum(result.n_sessions for result in results),
-            n_distinct_solves=len(pending),
-            n_cache_hits=n_cache_hits,
+            n_distinct_solves=execution.n_executed,
+            n_cache_hits=execution.n_cache_hits,
             seconds=time.perf_counter() - started,
             cache_stats=self.stats(),
-            backend=execution.name,
+            backend=execution_backend.name,
         )
 
-    def _compile_query(
-        self,
-        query: ConjunctiveQuery,
-        db: PPDatabase,
-        method: str,
-        options: dict,
-        session_limit: int | None,
-    ) -> list[_SessionEntry]:
-        """Sessions of one query with their canonical cache keys."""
-        analysis = analyze(query, db)
-        works = compile_session_work(
-            query, db, analysis=analysis, session_limit=session_limit
-        )
-        items = db.prelation(analysis.p_relation).items
-        labeling_memo: dict[PatternUnion, Labeling] = {}
-        fingerprint_memo: dict[PatternUnion, tuple] = {}
-        method_memo: dict[PatternUnion, str] = {}
-        entries: list[_SessionEntry] = []
-        for work in works:
-            if work.union is None:
-                entries.append(_SessionEntry(work.key, None))
-                continue
-            labeling = labeling_memo.get(work.union)
-            if labeling is None:
-                labeling = labeling_for_patterns(work.union.patterns, items, db)
-                labeling_memo[work.union] = labeling
-            resolved_method = method_memo.get(work.union)
-            if resolved_method is None:
-                # "auto" resolves per union so the cache key, the executed
-                # task, and the reported solver all agree on the concrete
-                # method (and collide with explicit same-method requests).
-                resolved_method = resolve_method(work.union, method)
-                method_memo[work.union] = resolved_method
-            fingerprint = fingerprint_memo.get(work.union)
-            if fingerprint is None:
-                # Canonicalizing the union/labeling is the expensive half of
-                # the key; all sessions sharing the union object reuse it.
-                fingerprint = request_fingerprint(
-                    labeling, work.union, resolved_method, options
-                )
-                fingerprint_memo[work.union] = fingerprint
-            entries.append(
-                _SessionEntry(
-                    session_key=work.key,
-                    cache_key=session_cache_key(
-                        work.model, labeling, work.union, resolved_method,
-                        options, fingerprint=fingerprint,
-                    ),
-                    model=work.model,
-                    labeling=labeling,
-                    union=work.union,
-                    method=resolved_method,
-                    fingerprint=fingerprint,
-                )
-            )
-        return entries
-
-    def _run_pending(
-        self,
-        pending: dict[Hashable, _SessionEntry],
-        resolved: dict[Hashable, tuple[float, str]],
-        execution: ExecutionBackend,
-        options: dict,
-    ) -> dict[Hashable, float]:
-        """Plan, execute, and cache the batch's pending solves.
-
-        The pending entries are frozen into picklable ``SolveTask``
-        descriptors, ordered largest-first by the planner's state-count
-        estimate (LPT scheduling: the long solves start immediately instead
-        of straggling at the end of the batch), and executed on the chosen
-        backend.  Returns the measured wall time per cache key, for the
-        per-query attribution of :meth:`_assemble`.
-        """
-        keys = list(pending)
-        tasks = []
-        for key in keys:
-            entry = pending[key]
-            cost = estimate_solve_states(
-                entry.model, entry.labeling, entry.union, entry.method, options
-            ).states
-            tasks.append(
-                make_solve_task(
-                    entry.model, entry.labeling, entry.union, entry.method,
-                    options, cost=cost,
-                    # The fingerprint already holds the canonical labeling
-                    # and union forms; don't re-freeze the expensive half.
-                    labeling_form=entry.fingerprint[0],
-                    union_form=entry.fingerprint[1],
-                )
-            )
-        order = largest_first_order([task.cost for task in tasks])
-        outcomes = execution.run([tasks[index] for index in order])
-        seconds_by_key: dict[Hashable, float] = {}
-        fresh: list[tuple[Hashable, tuple[float, str]]] = []
-        for index, outcome in zip(order, outcomes):
-            key = keys[index]
-            resolved[key] = outcome.value
-            seconds_by_key[key] = outcome.seconds
-            fresh.append((key, outcome.value))
-        # One call so a persistent tier can flush the batch in a single
-        # transaction instead of one commit per solve.
-        self.cache.put_many(fresh)
-        return seconds_by_key
-
-    @staticmethod
-    def _assemble(
-        entries: list[_SessionEntry],
-        resolved: dict[Hashable, tuple[float, str]],
-        pending: dict[Hashable, _SessionEntry],
-        method: str,
-        seconds_by_key: dict[Hashable, float],
-    ) -> QueryResult:
-        """One query's result, via the engine's shared aggregation."""
-        per_session: list[SessionEvaluation] = []
-        fresh_keys: set[Hashable] = set()
-        group_keys: set[Hashable] = set()
-        for entry in entries:
-            if entry.cache_key is None:
-                per_session.append(
-                    SessionEvaluation(entry.session_key, 0.0, "unsatisfiable")
-                )
-                continue
-            probability, solver_name = resolved[entry.cache_key]
-            group_keys.add(entry.cache_key)
-            if entry.cache_key in pending:
-                fresh_keys.add(entry.cache_key)
-            per_session.append(
-                SessionEvaluation(entry.session_key, probability, solver_name)
-            )
-        return QueryResult(
-            probability=aggregate_sessions(per_session),
-            per_session=per_session,
-            n_sessions=len(per_session),
-            # A solve shared by several queries of the batch counts toward
-            # each of them; BatchResult.n_distinct_solves is batch-accurate.
-            n_solver_calls=len(fresh_keys),
-            n_groups=len(group_keys),
-            grouped=True,
-            method=method,
-            # Measured wall time of the solves this query consumed: a solve
-            # shared by several queries of the batch counts toward each;
-            # cache-served groups contribute nothing.
-            seconds=sum(seconds_by_key.get(key, 0.0) for key in fresh_keys),
-            # Same semantics as engine.evaluate: distinct session groups
-            # this query did not solve fresh (served by the cache or by
-            # another query of the batch).
-            stats={
-                "batched": True,
-                "cache_hits": len(group_keys - fresh_keys),
-            },
-        )

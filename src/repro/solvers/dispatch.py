@@ -39,27 +39,33 @@ def available_methods() -> tuple[str, ...]:
 
 
 def choose_method(union_or_pattern) -> str:
-    """The method ``"auto"`` resolves to for this union."""
-    union = as_union(union_or_pattern)
-    if union.is_two_label():
-        return "two_label"
-    if union.is_bipartite():
-        return "bipartite"
-    return "general"
+    """The method ``"auto"`` resolves to for this union.
+
+    Delegates to the planner's structural dichotomy
+    (:func:`repro.plan.methods.classic_choice`) — which the planner's
+    cost-based selection provably coincides with — so the dispatch, the
+    plan passes, and the cache keys can never disagree.
+    """
+    # Deferred: the plan package imports the solver stack at load time.
+    from repro.plan.methods import classic_choice
+
+    return classic_choice(as_union(union_or_pattern))
 
 
 def resolve_method(union_or_pattern, method: str = "auto") -> str:
     """``method`` with ``"auto"`` resolved to the concrete solver name.
 
-    The single resolution point shared by the dispatch, the query engine,
-    and the cache keys (:mod:`repro.service.keys`): resolving *before*
-    building a cache key makes an ``"auto"`` request and its explicit twin
-    collide on one entry, and resolving before solving lets results report
-    the solver that actually ran rather than the requested ``"auto"``.
+    A thin delegate to the single resolution path,
+    :func:`repro.plan.methods.resolve_solve_method`, shared by the plan's
+    method-resolution pass, this dispatch, and the cache keys
+    (:mod:`repro.service.keys`): resolving *before* building a cache key
+    makes an ``"auto"`` request and its explicit twin collide on one entry,
+    and resolving before solving lets results report the solver that
+    actually ran rather than the requested ``"auto"``.
     """
-    if method != "auto":
-        return method
-    return choose_method(union_or_pattern)
+    from repro.plan.methods import resolve_solve_method
+
+    return resolve_solve_method(as_union(union_or_pattern), method)
 
 
 def solve(

@@ -139,6 +139,24 @@ class TestUnion:
         union = PatternUnion([g, g])
         assert union.z == 1
 
+    def test_dedupe_renamed_duplicates(self):
+        # Node names carry no semantics: a disjunct that differs only in
+        # names is the same query and must not inflate z (it would double
+        # the general solver's inclusion-exclusion subsets for nothing).
+        g1 = LabelPattern([(node("a", "A"), node("b", "B"))])
+        g2 = LabelPattern([(node("x", "A"), node("y", "B"))])
+        union = PatternUnion([g1, g2])
+        assert union.z == 1
+        assert union.patterns == (g1,)  # first appearance wins
+        # freeze() stability: the canonical form never saw the duplicate.
+        assert union.freeze() == PatternUnion([g1]).freeze()
+        assert union.freeze() == PatternUnion([g2]).freeze()
+
+    def test_dedupe_keeps_distinct_structures(self):
+        g1 = LabelPattern([(node("a", "A"), node("b", "B"))])
+        g2 = LabelPattern([(node("a", "B"), node("b", "A"))])
+        assert PatternUnion([g1, g2]).z == 2
+
     def test_classification(self):
         a, b, c = node("a", "A"), node("b", "B"), node("c", "C")
         two_label = PatternUnion([LabelPattern([(a, b)])])
