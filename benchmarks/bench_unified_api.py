@@ -1,0 +1,286 @@
+"""The unified query API on a mixed-kind repeated-template workload.
+
+Not a paper figure: this benchmark covers the unified request/answer
+surface of DESIGN.md Section 10.  The CrowdRank batch templates are served
+as a *mixed-kind* workload — each base query asked both as a Boolean
+``Probability`` and as a ``COUNT`` — and compared against evaluating the
+same requests kind by kind on fresh services.
+
+Acceptance bars:
+
+* **mixed-kind dedup** — the mixed batch executes **>= 2x fewer** distinct
+  solves than the kind-by-kind evaluation (a Count and a Probability of
+  the same query share every solve, so the mixed batch costs the same as
+  either kind alone);
+* **bit-identity to the pre-redesign entry points** — ``count_session``,
+  ``aggregate_session_attribute``, and ``most_probable_session`` (both
+  strategies) are compared against verbatim reimplementations of the
+  pre-redesign algorithms over the engine's primitives: expectations,
+  per-session breakdowns, rankings, and effort counters must match
+  exactly, and the unified ``answer()`` must agree with ``evaluate`` on
+  every probability.
+
+``BENCH_API_QUICK=1`` shrinks the workload for CI smoke runs.  Results are
+written to ``benchmarks/BENCH_api.json`` (committed) and
+``benchmarks/results/`` like every other benchmark.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.__main__ import batch_queries
+from repro.api import answer
+from repro.datasets.crowdrank import crowdrank_database
+from repro.evaluation.experiments import ExperimentResult
+from repro.plan.execute import session_upper_bound
+from repro.query.aggregates import (
+    aggregate_session_attribute,
+    count_session,
+    most_probable_session,
+)
+from repro.query.classify import analyze
+from repro.query.compile import labeling_for_patterns
+from repro.query.engine import compile_session_work, evaluate, solve_session
+from repro.query.parser import parse_query
+from repro.service import PreferenceService
+
+QUICK = os.environ.get("BENCH_API_QUICK") == "1"
+N_BASE_QUERIES = 8 if QUICK else 24
+N_SESSIONS = 30 if QUICK else 80
+N_MOVIES = 6 if QUICK else 8
+MIN_DEDUP_RATIO = 2.0
+DB_SEED = 7
+
+JSON_PATH = Path(__file__).parent / "BENCH_api.json"
+
+
+# ----------------------------------------------------------------------
+# Verbatim pre-redesign reference implementations
+# ----------------------------------------------------------------------
+
+
+def reference_count(query, db):
+    """count_session as it was before the unified API: evaluate + sum."""
+    result = evaluate(query, db)
+    per_session = [(e.key, e.probability) for e in result.per_session]
+    return float(sum(p for _, p in per_session)), per_session
+
+
+def reference_aggregate(query, db, relation, column, statistic, n_worlds, rng):
+    """aggregate_session_attribute's pre-redesign numpy recipe, verbatim."""
+    result = evaluate(query, db)
+    attribute_relation = db.orelation(relation)
+    column_index = attribute_relation.column_index(column)
+    per_session = [
+        (
+            e.key,
+            e.probability,
+            float(
+                attribute_relation.first_row_where({0: e.key[0]})[column_index]
+            ),
+        )
+        for e in result.per_session
+    ]
+    probabilities = np.array([p for _, p, _ in per_session])
+    values = np.array([v for _, _, v in per_session])
+    weighted_total = float(probabilities @ values)
+    probability_mass = float(probabilities.sum())
+    weighted_average = (
+        weighted_total / probability_mass if probability_mass > 0 else 0.0
+    )
+    if rng is None:
+        rng = np.random.default_rng(0)
+    draws = rng.random((n_worlds, len(per_session))) < probabilities
+    any_satisfied = draws.any(axis=1)
+    if statistic == "mean":
+        counts = draws.sum(axis=1)
+        sums = draws @ values
+        with np.errstate(invalid="ignore"):
+            world_values = np.where(
+                counts > 0, sums / np.maximum(counts, 1), 0.0
+            )
+        satisfied_values = world_values[any_satisfied]
+    else:
+        satisfied_values = (draws @ values)[any_satisfied]
+    expectation = (
+        float(satisfied_values.mean()) if len(satisfied_values) else 0.0
+    )
+    return expectation, float(any_satisfied.mean()), weighted_average
+
+
+def reference_topk(query, db, k, strategy, n_edges):
+    """most_probable_session's pre-redesign loop, verbatim."""
+    analysis = analyze(query, db)
+    items = db.prelation(analysis.p_relation).items
+    works = compile_session_work(query, db, analysis=analysis)
+    labelings = {}
+
+    def labeling_of(union):
+        if union not in labelings:
+            labelings[union] = labeling_for_patterns(union.patterns, items, db)
+        return labelings[union]
+
+    def exact(work):
+        if work.union is None:
+            return 0.0
+        probability, _ = solve_session(
+            work.model, labeling_of(work.union), work.union
+        )
+        return probability
+
+    if strategy == "naive":
+        scored = [(w.key, exact(w)) for w in works]
+        scored.sort(key=lambda pair: (-pair[1], repr(pair[0])))
+        return scored[:k], len(works), 0
+
+    bounded = [
+        (
+            0.0
+            if w.union is None
+            else session_upper_bound(
+                w.model, labeling_of(w.union), w.union, n_edges
+            ),
+            w,
+        )
+        for w in works
+    ]
+    bounded.sort(key=lambda pair: (-pair[0], repr(pair[1].key)))
+    confirmed, n_exact = [], 0
+    for bound, work in bounded:
+        if len(confirmed) >= k:
+            kth = sorted((p for _, p in confirmed), reverse=True)[k - 1]
+            if kth >= bound:
+                break
+        confirmed.append((work.key, exact(work)))
+        n_exact += 1
+    confirmed.sort(key=lambda pair: (-pair[1], repr(pair[0])))
+    return confirmed[:k], n_exact, len(works)
+
+
+def test_unified_api(record_result):
+    db = crowdrank_database(
+        n_workers=N_SESSIONS, n_movies=N_MOVIES, seed=DB_SEED
+    )
+    texts = batch_queries(N_BASE_QUERIES)
+
+    # --- kind-by-kind: each kind on its own fresh service --------------
+    kind_started = time.perf_counter()
+    prob_batch = PreferenceService().evaluate_many(texts, db)
+    count_batch = PreferenceService().evaluate_many(
+        [f"COUNT {text}" for text in texts], db
+    )
+    kind_seconds = time.perf_counter() - kind_started
+    kind_by_kind_solves = (
+        prob_batch.n_distinct_solves + count_batch.n_distinct_solves
+    )
+
+    # --- mixed-kind: one batch, one plan, cross-kind elimination -------
+    mixed_requests = [
+        request
+        for text in texts
+        for request in (text, f"COUNT {text}")
+    ]
+    mixed_started = time.perf_counter()
+    mixed = PreferenceService().evaluate_many(mixed_requests, db)
+    mixed_seconds = time.perf_counter() - mixed_started
+
+    dedup_ratio = kind_by_kind_solves / max(mixed.n_distinct_solves, 1)
+    assert dedup_ratio >= MIN_DEDUP_RATIO, (
+        f"mixed-kind batch executed {mixed.n_distinct_solves} distinct "
+        f"solves vs {kind_by_kind_solves} kind-by-kind; ratio "
+        f"{dedup_ratio:.2f}x < {MIN_DEDUP_RATIO}x"
+    )
+    # The mixed batch costs no more than either kind alone.
+    assert mixed.n_distinct_solves == prob_batch.n_distinct_solves
+
+    # Mixed answers agree with the kind-by-kind batches, pairwise.
+    for index, text in enumerate(texts):
+        assert mixed[2 * index].value == prob_batch[index].probability
+        assert mixed[2 * index + 1].value == count_batch[index].value
+
+    # --- bit-identity of the deprecated shims --------------------------
+    check_queries = [parse_query(text) for text in texts[:4]]
+    for query in check_queries:
+        expectation, per_session = reference_count(query, db)
+        count = count_session(query, db)
+        assert count.expectation == expectation
+        assert count.per_session == per_session
+
+        result = evaluate(query, db)
+        assert answer(query, db).value == result.probability
+
+        for strategy in ("naive", "upper_bound"):
+            sessions, n_exact, n_upper = reference_topk(
+                query, db, 3, strategy, 1
+            )
+            topk = most_probable_session(query, db, k=3, strategy=strategy)
+            assert topk.sessions == sessions
+            assert topk.n_exact_evaluations == n_exact
+            assert topk.n_upper_bound_evaluations == n_upper
+
+        expectation, probability_any, weighted_average = reference_aggregate(
+            query, db, "V", "age", "mean", 10_000, None
+        )
+        aggregate = aggregate_session_attribute(query, db, "V", "age")
+        assert aggregate.expectation == expectation
+        assert aggregate.probability_any == probability_any
+        assert aggregate.weighted_average == weighted_average
+
+    report = {
+        "config": {
+            "n_base_queries": N_BASE_QUERIES,
+            "n_sessions": N_SESSIONS,
+            "n_movies": N_MOVIES,
+            "quick": QUICK,
+            "seed": DB_SEED,
+        },
+        "mixed_kind_dedup": {
+            "kind_by_kind_solves": kind_by_kind_solves,
+            "mixed_solves": mixed.n_distinct_solves,
+            "required_ratio": MIN_DEDUP_RATIO,
+            "measured_ratio": dedup_ratio,
+            "enforced": True,
+        },
+        "bit_identity": {
+            "count_session": True,
+            "aggregate_session_attribute": True,
+            "most_probable_session": True,
+            "answer_vs_evaluate": True,
+            "n_queries_checked": len(check_queries),
+            "enforced": True,
+        },
+        "timings": {
+            "kind_by_kind_seconds": kind_seconds,
+            "mixed_seconds": mixed_seconds,
+        },
+    }
+    JSON_PATH.write_text(json.dumps(report, indent=2) + "\n")
+
+    record_result(
+        ExperimentResult(
+            experiment="unified_api",
+            headers=["workload", "requests", "distinct_solves", "seconds"],
+            rows=[
+                [
+                    "kind-by-kind (2 services)",
+                    2 * N_BASE_QUERIES,
+                    kind_by_kind_solves,
+                    kind_seconds,
+                ],
+                [
+                    "mixed-kind batch",
+                    2 * N_BASE_QUERIES,
+                    mixed.n_distinct_solves,
+                    mixed_seconds,
+                ],
+            ],
+            notes={
+                "dedup_ratio": round(dedup_ratio, 2),
+                "quick": QUICK,
+            },
+        )
+    )

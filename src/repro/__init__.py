@@ -24,6 +24,17 @@ See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
 reproduction of every table and figure of the paper's evaluation.
 """
 
+from repro.api import (
+    Aggregate,
+    Answer,
+    BatchAnswer,
+    Count,
+    Probability,
+    TopK,
+    answer,
+    answer_many,
+    parse_request,
+)
 from repro.kernels import (
     model_tables,
     rankings_from_positions,
@@ -57,6 +68,15 @@ from repro.solvers import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "Aggregate",
+    "Answer",
+    "BatchAnswer",
+    "Count",
+    "Probability",
+    "TopK",
+    "answer",
+    "answer_many",
+    "parse_request",
     "Ranking",
     "SubRanking",
     "PartialOrder",

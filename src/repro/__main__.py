@@ -8,6 +8,14 @@ Usage::
     python -m repro demo                 # the quickstart walkthrough
     python -m repro batch                # batch serving + solver cache demo
     python -m repro explain "<query>"    # cost-annotated query plan
+    python -m repro query "<request>"    # one-shot evaluation of any kind
+
+The ``query`` and ``explain`` commands accept the unified request grammar
+(:mod:`repro.api.requests`): plain CQ text evaluates the Boolean
+probability, and the ``COUNT ...``, ``TOPK k ...``, and
+``AGG stat(Relation.column) ...`` prefixes select the aggregate kinds —
+e.g. ``python -m repro query "TOPK 3 P(v; m1; m2), M(m1, 'Comedy', _, _,
+_)"``.
 
 Each figure command prints the same rows/series the paper's figure reports
 (see EXPERIMENTS.md for the paper-vs-measured record).  The ``batch``
@@ -215,40 +223,107 @@ def run_batch(args) -> int:
     return 0
 
 
-def run_explain(args) -> int:
-    """Render the cost-annotated, optimized plan of one query (or several).
-
-    The plan is built and optimized but *not* executed — ``explain`` is the
-    cheap pre-flight view of what evaluation would do: the sessions each
-    query selects, the compiled pattern unions, the surviving solve
-    frontier with resolved solvers and DP state-count estimates, and how
-    many solves the optimizer eliminated.
-    """
-    from repro.plan import build_plan, optimize_plan
-    from repro.query.classify import UnsupportedQueryError
-    from repro.query.parser import parse_query
-
-    if not _check_method(args.method):
-        return 2
+def _load_dataset(args):
+    """The database an ad-hoc CLI request runs against."""
     if args.dataset == "polls":
         from repro.db.examples import polling_example
 
-        db = polling_example()
-    else:
-        from repro.datasets.crowdrank import crowdrank_database
+        return polling_example()
+    from repro.datasets.crowdrank import crowdrank_database
 
-        db = crowdrank_database(
-            n_workers=args.sessions, n_movies=args.movies, seed=args.seed
-        )
+    return crowdrank_database(
+        n_workers=args.sessions, n_movies=args.movies, seed=args.seed
+    )
+
+
+def run_explain(args) -> int:
+    """Render the cost-annotated, optimized plan of one request (or several).
+
+    The plan is built and optimized but *not* executed — ``explain`` is the
+    cheap pre-flight view of what evaluation would do: the sessions each
+    request selects, the compiled pattern unions, the surviving solve
+    frontier with resolved solvers and DP state-count estimates, the
+    per-kind terminal (probability / count / top-k / attribute aggregate),
+    and how many solves the optimizer eliminated.
+    """
+    from repro.api.requests import parse_request
+    from repro.plan import build_plan, optimize_plan
+    from repro.query.classify import UnsupportedQueryError
+
+    if not _check_method(args.method):
+        return 2
+    db = _load_dataset(args)
     try:
-        queries = [parse_query(text) for text in args.query]
-        plan = build_plan(queries, db, method=args.method)
+        requests = [parse_request(text) for text in args.query]
+        plan = build_plan(requests, db, method=args.method)
         if not args.no_optimize:
             optimize_plan(plan, canonical=True)
         print(plan.explain())
-    except (UnsupportedQueryError, ValueError) as error:
+    except (UnsupportedQueryError, ValueError, KeyError) as error:
+        # KeyError: an AGG request whose relation/column/session row is
+        # missing fails at plan-build time (the attribute join).
         print(f"cannot plan query: {error}", file=sys.stderr)
         return 2
+    return 0
+
+
+def run_query(args) -> int:
+    """One-shot evaluation of any request kind through the unified API."""
+    import numpy as np
+
+    from repro.api import answer, parse_request
+    from repro.query.classify import UnsupportedQueryError
+    from repro.query.engine import APPROXIMATE_METHODS
+
+    if not _check_method(args.method):
+        return 2
+    db = _load_dataset(args)
+    rng = None
+    if args.method in APPROXIMATE_METHODS or args.method == "auto-approx":
+        rng = np.random.default_rng(args.seed)
+    try:
+        request = parse_request(args.query)
+        result = answer(request, db, method=args.method, rng=rng)
+    except (UnsupportedQueryError, ValueError, KeyError) as error:
+        print(f"cannot evaluate query: {error}", file=sys.stderr)
+        return 2
+    print(f"request: {request.describe()}")
+    print(f"kind: {result.kind}")
+    if result.kind == "probability":
+        print(f"Pr(Q | D) = {result.value:.6f}")
+    elif result.kind == "count":
+        print(f"E[count(Q)] = {result.value:.6f}")
+    elif result.kind == "aggregate":
+        print(
+            f"E[{request.statistic}({request.relation}.{request.column})"
+            f" | count(Q) > 0] = {result.value:.6f}"
+        )
+        print(
+            f"probability_any = {result.stats['probability_any']:.6f}, "
+            f"weighted_average = {result.stats['weighted_average']:.6f} "
+            f"(n_worlds = {result.stats['n_worlds']})"
+        )
+    else:  # top_k
+        print(
+            f"top-{request.k} sessions "
+            f"(strategy={request.strategy}, "
+            f"exact={result.stats['n_exact_evaluations']}, "
+            f"pruned={result.stats['n_pruned']}):"
+        )
+        print(
+            format_table(
+                ["rank", "session", "probability"],
+                [
+                    [rank + 1, repr(key), probability]
+                    for rank, (key, probability) in enumerate(result.value)
+                ],
+            )
+        )
+    methods = ", ".join(result.methods) if result.methods else "(none)"
+    print(
+        f"sessions={result.n_sessions}, resolved_methods=[{methods}], "
+        f"seconds={result.seconds:.3f}"
+    )
     return 0
 
 
@@ -362,6 +437,32 @@ def main(argv: list[str] | None = None) -> int:
     )
     explain_parser.add_argument("--seed", type=int, default=7)
 
+    query_parser = subparsers.add_parser(
+        "query",
+        help="evaluate one request of any kind (unified request grammar)",
+    )
+    query_parser.add_argument(
+        "query",
+        help="request text: a CQ, or COUNT / TOPK k / AGG stat(R.col) "
+        "prefixed forms",
+    )
+    query_parser.add_argument(
+        "--dataset", choices=("crowdrank", "polls"), default="crowdrank",
+        help="database to evaluate against (default: a seeded CrowdRank)",
+    )
+    query_parser.add_argument(
+        "--method", default="auto",
+        help="solver method (default: auto dispatch; sampling methods and "
+        "'auto-approx' seed an rng from --seed)",
+    )
+    query_parser.add_argument(
+        "--sessions", type=int, default=50, help="CrowdRank sessions"
+    )
+    query_parser.add_argument(
+        "--movies", type=int, default=8, help="CrowdRank catalog size"
+    )
+    query_parser.add_argument("--seed", type=int, default=7)
+
     args = parser.parse_args(argv)
     if args.command == "list":
         for name in sorted(EXPERIMENTS):
@@ -375,6 +476,8 @@ def main(argv: list[str] | None = None) -> int:
         return run_batch(args)
     if args.command == "explain":
         return run_explain(args)
+    if args.command == "query":
+        return run_query(args)
     if args.command == "demo":
         # The examples directory is not an installed package; run the
         # quickstart by path so `python -m repro demo` works from a clone.

@@ -1,0 +1,122 @@
+"""The unified answer envelope shared by every query kind.
+
+One :class:`Answer` per request, whatever the kind: the scalar (or
+ranking) ``value``, the per-session breakdown, the *resolved* solver
+methods that actually ran (never the requested string — see
+``requested_method`` for that), wall time, and cache/plan statistics.
+The historical result dataclasses (:class:`~repro.query.engine
+.QueryResult`, :class:`~repro.query.aggregates.CountResult`,
+:class:`~repro.query.aggregates.AttributeAggregateResult`,
+:class:`~repro.query.aggregates.TopKResult`) are kept as deprecated thin
+envelopes, bit-identical to their pre-redesign outputs; each answer
+carries its legacy twin, reachable via :meth:`Answer.to_legacy`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from repro.query.engine import SessionEvaluation
+
+
+@dataclass
+class Answer:
+    """The result of one typed request, any kind.
+
+    ``value`` is the kind's principal result: the probability
+    (``probability``), the expected count (``count``), the conditional
+    expectation of the attribute statistic (``aggregate``), or the ranked
+    ``[(session_key, probability), ...]`` list (``top_k``).  ``methods``
+    names the distinct solvers that actually ran (resolved, e.g.
+    ``("two_label",)`` — never ``"auto"``); ``stats`` carries kind-specific
+    extras (cache hits, top-k pruning effort, aggregate side estimates).
+    """
+
+    request: Any
+    kind: str
+    value: Any
+    per_session: list[SessionEvaluation] = field(default_factory=list)
+    methods: tuple[str, ...] = ()
+    requested_method: str = "auto"
+    n_sessions: int = 0
+    seconds: float = 0.0
+    stats: dict = field(default_factory=dict)
+    #: The deprecated pre-redesign result envelope, bit-identical to the
+    #: historical entry point of this kind.
+    legacy: Any = None
+
+    def to_legacy(self):
+        """The deprecated kind-specific result dataclass (bit-identical)."""
+        return self.legacy
+
+    # ------------------------------------------------------------------
+    # Kind-checked conveniences
+    # ------------------------------------------------------------------
+
+    def _expect_kind(self, *kinds: str) -> None:
+        if self.kind not in kinds:
+            raise ValueError(
+                f"a {self.kind!r} answer has no "
+                f"{' / '.join(kinds)} accessor"
+            )
+
+    @property
+    def probability(self) -> float:
+        """The Boolean query probability (``probability`` answers only)."""
+        self._expect_kind("probability")
+        return self.value
+
+    @property
+    def expectation(self) -> float:
+        """The expected value (``count`` / ``aggregate`` answers only)."""
+        self._expect_kind("count", "aggregate")
+        return self.value
+
+    @property
+    def ranking(self) -> list:
+        """The ranked ``(session_key, probability)`` list (``top_k``)."""
+        self._expect_kind("top_k")
+        return self.value
+
+    def session_probability(self, key) -> float:
+        for evaluation in self.per_session:
+            if evaluation.key == key:
+                return evaluation.probability
+        raise KeyError(f"no session {key!r} in the answer")
+
+
+@dataclass
+class BatchAnswer:
+    """Per-request answers plus batch-level cache and timing metadata.
+
+    The mixed-kind sibling of :class:`~repro.service.service.BatchResult`:
+    ``answers`` holds one :class:`Answer` per request, in request order;
+    the batch counters report how much work mixed-kind common-solve
+    elimination and the shared cache saved.
+    """
+
+    answers: list[Answer]
+    n_requests: int
+    n_sessions: int
+    #: Distinct solves actually executed for this batch (after batch-wide
+    #: mixed-kind dedup, cache lookups, and top-k pruning).
+    n_distinct_solves: int
+    #: Session groups served from the cross-query cache without solving.
+    n_cache_hits: int
+    seconds: float
+    cache_stats: dict = field(default_factory=dict)
+    backend: str = ""
+
+    @property
+    def values(self) -> list:
+        return [answer.value for answer in self.answers]
+
+    def __len__(self) -> int:
+        return len(self.answers)
+
+    def __iter__(self) -> Iterator[Answer]:
+        return iter(self.answers)
+
+    def __getitem__(self, index: int) -> Answer:
+        return self.answers[index]

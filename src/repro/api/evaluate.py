@@ -1,0 +1,465 @@
+"""The unified evaluation path: typed requests -> :class:`Answer`.
+
+Every query kind flows through the same build -> optimize -> execute
+pipeline (:mod:`repro.plan`): the request's Boolean CQ compiles into the
+shared solve frontier, the optimizer passes resolve methods, annotate
+costs, and merge identical solves — *across request kinds*, so a Count and
+a Probability of the same query share every solve — and the executor runs
+the surviving frontier through the unchanged solver/cache stack, with the
+kind-specific terminal (count/expectation aggregation, upper-bound-pruned
+top-k, possible-world attribute draws) on top.
+
+:func:`answer` is the single-request entry point, the unified twin of the
+historical :func:`repro.query.engine.evaluate` /
+:func:`repro.query.aggregates.count_session` /
+:func:`repro.query.aggregates.aggregate_session_attribute` /
+:func:`repro.query.aggregates.most_probable_session`, which are now thin
+deprecated wrappers over it.  :func:`answer_many` is the batch entry point
+behind :meth:`repro.service.service.PreferenceService.evaluate_many` for
+mixed-kind request lists.
+"""
+
+from __future__ import annotations
+
+import time
+import warnings
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.api.answer import Answer, BatchAnswer
+from repro.api.requests import QueryRequest, as_request
+from repro.plan.build import build_plan
+from repro.plan.execute import (
+    PlanExecution,
+    assemble_query_result,
+    classify_executed_items,
+    execute_plan,
+    fresh_solve_seconds,
+)
+from repro.plan.methods import APPROXIMATE_METHODS
+from repro.plan.nodes import (
+    AttributeAggregateNode,
+    CountSessionsNode,
+    QueryPlan,
+    TerminalNode,
+    TopKSessionsNode,
+)
+from repro.plan.passes import optimize_plan
+from repro.query.engine import SessionEvaluation
+from repro.service.cache import SolverCache
+from repro.service.executors import (
+    ExecutionBackend,
+    ProcessBackend,
+    SerialBackend,
+    resolve_backend,
+)
+
+
+def answer(
+    request: "QueryRequest | Any",
+    db,
+    method: str = "auto",
+    rng: "np.random.Generator | None" = None,
+    group_sessions: bool = True,
+    session_limit: int | None = None,
+    cache: SolverCache | None = None,
+    optimize: bool = True,
+    **solver_options,
+) -> Answer:
+    """Evaluate one typed request (or query/text) through the plan pipeline.
+
+    Parameters mirror :func:`repro.query.engine.evaluate`; the request kind
+    decides the terminal node and the envelope.  The returned answer
+    carries its deprecated kind-specific legacy twin
+    (:meth:`Answer.to_legacy`), bit-identical to the pre-redesign entry
+    point of that kind.
+    """
+    started = time.perf_counter()
+    request = as_request(request)
+    if request.kind == "top_k" and method in APPROXIMATE_METHODS:
+        # The historical top-k evaluated every session independently, so
+        # rng-driven solves must keep one draw stream per session —
+        # grouping would merge identical sessions and shift the stream.
+        group_sessions = False
+    # Canonical cache keys are computed by the optimizer's elimination
+    # pass, so the unoptimized reference plan is also cacheless — it is
+    # the naive baseline, not a differently-keyed cache client.
+    use_cache = (
+        cache is not None
+        and method not in APPROXIMATE_METHODS
+        and group_sessions
+        and optimize
+    )
+    plan = build_plan(
+        request,
+        db,
+        method=method,
+        options=solver_options,
+        group_sessions=group_sessions,
+        session_limit=session_limit,
+    )
+    if optimize:
+        optimize_plan(plan, canonical=use_cache)
+    execution = execute_plan(plan, cache=cache if use_cache else None, rng=rng)
+    if use_cache:
+        cache.record_plan(
+            plan.n_solves_planned,
+            plan.n_solves_eliminated,
+            len(plan.passes_applied),
+        )
+    result = assemble_answers(
+        plan, execution, batched=False, with_cache=use_cache
+    )[0]
+    result.seconds = time.perf_counter() - started
+    result.legacy.seconds = result.seconds
+    return result
+
+
+def answer_many(
+    requests: Sequence["QueryRequest | Any"],
+    db,
+    method: str = "auto",
+    rng: "np.random.Generator | None" = None,
+    cache: SolverCache | None = None,
+    backend: "str | ExecutionBackend | None" = None,
+    default_backend: "str | ExecutionBackend" = "serial",
+    max_workers: int | None = None,
+    session_limit: int | None = None,
+    **solver_options,
+) -> BatchAnswer:
+    """Evaluate a mixed-kind batch with batch-wide solve deduplication.
+
+    The whole batch is planned as one DAG: the optimizer's canonical
+    common-solve elimination merges identical solves across sessions,
+    queries, *and kinds* (a ``Count`` and a ``Probability`` of the same
+    query cost one solve, not two), the surviving frontier runs on the
+    configured backend, and each request's terminal assembles its own
+    answer.  Sampling methods are rng-driven and non-cacheable, so they
+    fall back to sequential per-request evaluation (a parallelism request
+    is then warned about, not silently ignored).
+    """
+    started = time.perf_counter()
+    parsed = [as_request(item) for item in requests]
+    effective_backend = backend if backend is not None else default_backend
+
+    if method in APPROXIMATE_METHODS:
+        if parallelism_requested(backend, effective_backend, max_workers):
+            warnings.warn(
+                f"approximate method {method!r} is rng-driven and runs "
+                f"sequentially; the requested parallelism "
+                f"(max_workers/backend) is ignored",
+                UserWarning,
+                stacklevel=2,
+            )
+        answers = [
+            answer(
+                request,
+                db,
+                method=method,
+                rng=rng,
+                session_limit=session_limit,
+                **solver_options,
+            )
+            for request in parsed
+        ]
+        return BatchAnswer(
+            answers=answers,
+            n_requests=len(answers),
+            n_sessions=sum(one.n_sessions for one in answers),
+            n_distinct_solves=sum(
+                one.stats.get("n_solver_calls", 0) for one in answers
+            ),
+            n_cache_hits=0,
+            seconds=time.perf_counter() - started,
+            cache_stats=cache.stats().as_dict() if cache is not None else {},
+            backend="serial",
+        )
+
+    plan = build_plan(
+        parsed,
+        db,
+        method=method,
+        options=solver_options,
+        group_sessions=True,
+        session_limit=session_limit,
+    )
+    optimize_plan(plan, canonical=True)
+    execution_backend = resolve_backend(effective_backend, max_workers)
+    execution = execute_plan(
+        plan, cache=cache, rng=rng, backend=execution_backend
+    )
+    if cache is not None:
+        cache.record_plan(
+            plan.n_solves_planned,
+            plan.n_solves_eliminated,
+            len(plan.passes_applied),
+        )
+    answers = assemble_answers(plan, execution, batched=True)
+    return BatchAnswer(
+        answers=answers,
+        n_requests=len(answers),
+        n_sessions=sum(one.n_sessions for one in answers),
+        n_distinct_solves=execution.n_executed,
+        n_cache_hits=execution.n_cache_hits,
+        seconds=time.perf_counter() - started,
+        cache_stats=cache.stats().as_dict() if cache is not None else {},
+        backend=execution_backend.name,
+    )
+
+
+def parallelism_requested(
+    explicit_backend, effective_backend, max_workers: int | None
+) -> bool:
+    """Did the caller ask for parallelism an rng-driven batch must ignore?
+
+    The one predicate shared by :func:`answer_many` and
+    :meth:`repro.service.service.PreferenceService.evaluate_many`, so the
+    warning cannot depend on batch composition: an explicitly passed
+    non-serial backend, a process-configured default, or a >1 worker pool
+    all count; a defaulted thread backend alone does not (thread
+    parallelism over sequential solves is a performance no-op).
+    """
+
+    def _is_serial(spec) -> bool:
+        return spec == "serial" or isinstance(spec, SerialBackend)
+
+    return (
+        (explicit_backend is not None and not _is_serial(explicit_backend))
+        or effective_backend == "process"
+        or isinstance(effective_backend, ProcessBackend)
+        or (max_workers is not None and max_workers > 1)
+    )
+
+
+# ----------------------------------------------------------------------
+# Assembly: terminals -> answers (+ their deprecated legacy envelopes)
+# ----------------------------------------------------------------------
+
+
+def assemble_answers(
+    plan: QueryPlan,
+    execution: PlanExecution,
+    batched: bool = False,
+    with_cache: bool = False,
+) -> list[Answer]:
+    """One :class:`Answer` per terminal, in request order.
+
+    Each answer also carries the deprecated legacy envelope of its kind,
+    assembled through the same counters as the historical entry points so
+    probabilities, expectations, rankings, and solver attributions stay
+    bit-identical.
+    """
+    answers: list[Answer] = []
+    for terminal in plan.aggregate_nodes():
+        if isinstance(terminal, TopKSessionsNode):
+            answers.append(
+                _assemble_topk(plan, execution, terminal, batched)
+            )
+        elif isinstance(terminal, AttributeAggregateNode):
+            answers.append(
+                _assemble_attribute(
+                    plan, execution, terminal, batched, with_cache
+                )
+            )
+        elif isinstance(terminal, CountSessionsNode):
+            answers.append(
+                _assemble_count(plan, execution, terminal, batched, with_cache)
+            )
+        else:
+            answers.append(
+                _assemble_probability(
+                    plan, execution, terminal, batched, with_cache
+                )
+            )
+    return answers
+
+
+def _resolved_methods(per_session: list[SessionEvaluation]) -> tuple[str, ...]:
+    """Distinct resolved solver names that actually ran, sorted."""
+    return tuple(
+        sorted(
+            {
+                evaluation.solver
+                for evaluation in per_session
+                if evaluation.solver and evaluation.solver != "unsatisfiable"
+            }
+        )
+    )
+
+
+def _base_answer(
+    plan: QueryPlan,
+    terminal: TerminalNode,
+    kind: str,
+    value,
+    per_session: list[SessionEvaluation],
+    seconds: float,
+    stats: dict,
+    legacy,
+) -> Answer:
+    return Answer(
+        request=plan.requests[terminal.query_index],
+        kind=kind,
+        value=value,
+        per_session=per_session,
+        methods=_resolved_methods(per_session),
+        requested_method=plan.method,
+        n_sessions=len(terminal.items),
+        seconds=seconds,
+        stats=stats,
+        legacy=legacy,
+    )
+
+
+def _assemble_probability(
+    plan, execution, terminal, batched: bool, with_cache: bool
+) -> Answer:
+    result = assemble_query_result(
+        plan, execution, terminal, batched=batched, with_cache=with_cache
+    )
+    stats = dict(result.stats)
+    stats.update(
+        n_solver_calls=result.n_solver_calls, n_groups=result.n_groups
+    )
+    return _base_answer(
+        plan,
+        terminal,
+        "probability",
+        result.probability,
+        result.per_session,
+        result.seconds,
+        stats,
+        result,
+    )
+
+
+def _assemble_count(
+    plan, execution, terminal, batched: bool, with_cache: bool
+) -> Answer:
+    # Deferred: the aggregates module wraps back into this package.
+    from repro.query.aggregates import CountResult
+
+    result = assemble_query_result(
+        plan, execution, terminal, batched=batched, with_cache=with_cache
+    )
+    per_session = [
+        (evaluation.key, evaluation.probability)
+        for evaluation in result.per_session
+    ]
+    resolved = _resolved_methods(result.per_session)
+    legacy = CountResult(
+        expectation=float(sum(p for _, p in per_session)),
+        per_session=per_session,
+        seconds=result.seconds,
+        method=plan.method,
+        resolved_methods=resolved,
+    )
+    stats = dict(result.stats)
+    stats.update(
+        n_solver_calls=result.n_solver_calls, n_groups=result.n_groups
+    )
+    return _base_answer(
+        plan,
+        terminal,
+        "count",
+        legacy.expectation,
+        result.per_session,
+        result.seconds,
+        stats,
+        legacy,
+    )
+
+
+def _assemble_attribute(
+    plan, execution, terminal, batched: bool, with_cache: bool
+) -> Answer:
+    from repro.query.aggregates import AttributeAggregateResult
+
+    result = assemble_query_result(
+        plan, execution, terminal, batched=batched, with_cache=with_cache
+    )
+    outcome = execution.attribute[terminal.node_id]
+    per_session = [
+        (
+            evaluation.key,
+            evaluation.probability,
+            terminal.values[evaluation.key],
+        )
+        for evaluation in result.per_session
+    ]
+    legacy = AttributeAggregateResult(
+        expectation=outcome.expectation,
+        probability_any=outcome.probability_any,
+        weighted_average=outcome.weighted_average,
+        n_worlds=terminal.n_worlds,
+        per_session=per_session,
+        seconds=result.seconds,
+    )
+    stats = dict(result.stats)
+    stats.update(
+        n_solver_calls=result.n_solver_calls,
+        n_groups=result.n_groups,
+        probability_any=outcome.probability_any,
+        weighted_average=outcome.weighted_average,
+        n_worlds=terminal.n_worlds,
+        statistic=terminal.statistic,
+    )
+    return _base_answer(
+        plan,
+        terminal,
+        "aggregate",
+        outcome.expectation,
+        result.per_session,
+        result.seconds,
+        stats,
+        legacy,
+    )
+
+
+def _assemble_topk(plan, execution, terminal, batched: bool) -> Answer:
+    from repro.query.aggregates import TopKResult
+
+    outcome = execution.topk[terminal.node_id]
+    # Classify only the sessions the adaptive frontier actually evaluated;
+    # pruned solves never resolved and stay out of the breakdown.
+    per_session, _, fresh_ids, served_ids = classify_executed_items(
+        plan, execution, outcome.evaluated
+    )
+    if batched:
+        seconds = fresh_solve_seconds(execution, fresh_ids)
+    else:
+        seconds = execution.seconds
+    pruning = terminal.strategy == "upper_bound"
+    legacy = TopKResult(
+        sessions=outcome.confirmed[: terminal.k],
+        k=terminal.k,
+        strategy=terminal.strategy,
+        n_exact_evaluations=outcome.n_exact,
+        n_upper_bound_evaluations=outcome.n_upper_bound,
+        seconds=seconds,
+        upper_bound_seconds=outcome.upper_bound_seconds,
+        exact_seconds=outcome.exact_seconds,
+        stats=(
+            {"n_sessions": len(terminal.items), "n_edges": terminal.n_edges}
+            if pruning
+            else {}
+        ),
+    )
+    stats = {
+        "n_solver_calls": len(fresh_ids),
+        "cache_hits": len(served_ids),
+        "n_exact_evaluations": outcome.n_exact,
+        "n_upper_bound_evaluations": outcome.n_upper_bound,
+        "n_pruned": len(terminal.items) - outcome.n_exact,
+    }
+    return _base_answer(
+        plan,
+        terminal,
+        "top_k",
+        legacy.sessions,
+        per_session,
+        seconds,
+        stats,
+        legacy,
+    )

@@ -32,7 +32,15 @@ See DESIGN.md, "The query planner".
 """
 
 from repro.plan.build import build_plan
-from repro.plan.execute import PlanExecution, assemble_results, execute_plan
+from repro.plan.execute import (
+    AttributeOutcome,
+    PlanExecution,
+    TopKOutcome,
+    assemble_query_result,
+    assemble_results,
+    execute_plan,
+    session_upper_bound,
+)
 from repro.plan.explain import explain_plan
 from repro.plan.methods import (
     APPROX_BUDGET_OPTION,
@@ -44,13 +52,17 @@ from repro.plan.methods import (
 )
 from repro.plan.nodes import (
     AggregateSessionsNode,
+    AttributeAggregateNode,
     CombineQueriesNode,
     CompileUnionNode,
+    CountSessionsNode,
     GroundSessionsNode,
     PlanNode,
     QueryPlan,
     SelectSessionsNode,
     SolveNode,
+    TerminalNode,
+    TopKSessionsNode,
 )
 from repro.plan.passes import (
     annotate_costs,
@@ -68,17 +80,25 @@ __all__ = [
     "AUTO_APPROX_FALLBACK",
     "DEFAULT_APPROX_BUDGET",
     "AggregateSessionsNode",
+    "AttributeAggregateNode",
+    "AttributeOutcome",
     "CombineQueriesNode",
     "CompileUnionNode",
+    "CountSessionsNode",
     "GroundSessionsNode",
     "PlanExecution",
     "PlanNode",
     "QueryPlan",
     "SelectSessionsNode",
     "SolveNode",
+    "TerminalNode",
+    "TopKOutcome",
+    "TopKSessionsNode",
     "annotate_costs",
+    "assemble_query_result",
     "assemble_results",
     "build_plan",
+    "session_upper_bound",
     "classic_choice",
     "cost_based_choice",
     "default_passes",

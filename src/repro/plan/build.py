@@ -1,4 +1,4 @@
-"""The plan builder: (queries, db) -> a logical :class:`QueryPlan` DAG.
+"""The plan builder: (requests, db) -> a logical :class:`QueryPlan` DAG.
 
 The builder performs the *logical* phases of evaluation — session
 selection, session-atom grounding, pattern-union compilation — through the
@@ -8,6 +8,16 @@ emits one :class:`~repro.plan.nodes.SolveNode` per satisfiable session:
 the *planned* solves.  No probability is computed here; the optimizer
 (:mod:`repro.plan.passes`) rewrites the solve frontier and the executor
 (:mod:`repro.plan.execute`) runs it.
+
+Inputs may be plain Boolean CQs (or query text), or any typed request of
+the unified API (:mod:`repro.api.requests`): every request kind shares the
+same logical pipeline and solve frontier and differs only in its terminal
+node — :class:`~repro.plan.nodes.AggregateSessionsNode` for a Boolean
+probability, :class:`~repro.plan.nodes.CountSessionsNode` for
+``count(Q)``, :class:`~repro.plan.nodes.TopKSessionsNode` for
+``top(Q, k)``, :class:`~repro.plan.nodes.AttributeAggregateNode` for the
+Section-7 attribute aggregates (whose attribute values are joined here, at
+build time, so a missing row fails before any solve runs).
 
 Labelings are computed once per distinct union object and shared by every
 session (and every solve node) that references the union, exactly as the
@@ -26,41 +36,57 @@ from repro.query.compile import labeling_for_patterns
 from repro.query.engine import compile_session_work
 from repro.plan.nodes import (
     AggregateSessionsNode,
+    AttributeAggregateNode,
     CombineQueriesNode,
     CompileUnionNode,
+    CountSessionsNode,
     GroundSessionsNode,
     QueryPlan,
     SelectSessionsNode,
     SolveNode,
+    TerminalNode,
+    TopKSessionsNode,
 )
 
 
+def _normalize_requests(queries) -> list:
+    """Any accepted input shape -> a list of typed requests."""
+    # Deferred: repro.api builds on this package.
+    from repro.api.requests import QueryRequest, as_request
+
+    if isinstance(queries, (ConjunctiveQuery, str, QueryRequest)):
+        queries = [queries]
+    return [as_request(item) for item in queries]
+
+
 def build_plan(
-    queries: "ConjunctiveQuery | Sequence[ConjunctiveQuery]",
+    queries: "ConjunctiveQuery | str | Any | Sequence",
     db,
     method: str = "auto",
     options: "dict[str, Any] | None" = None,
     group_sessions: bool = True,
     session_limit: int | None = None,
 ) -> QueryPlan:
-    """Build the logical plan of one query or a batch.
+    """Build the logical plan of one request or a batch.
 
-    Parameters mirror :func:`repro.query.engine.evaluate`;
-    ``group_sessions=False`` marks the plan as non-groupable (the optimizer
-    then skips common-solve elimination, reproducing the naive baseline).
+    ``queries`` accepts a single item or a sequence of items, each a
+    :class:`~repro.query.ast.ConjunctiveQuery`, request text (plain or
+    prefixed — ``COUNT`` / ``TOPK k`` / ``AGG stat(R.col)``), or a typed
+    request object.  The other parameters mirror
+    :func:`repro.query.engine.evaluate`; ``group_sessions=False`` marks the
+    plan as non-groupable (the optimizer then skips common-solve
+    elimination, reproducing the naive baseline).
     """
-    if isinstance(queries, ConjunctiveQuery):
-        queries = [queries]
     plan = QueryPlan(
         db,
-        list(queries),
+        _normalize_requests(queries),
         method=method,
         options=options,
         group_sessions=group_sessions,
         session_limit=session_limit,
     )
-    for query_index, query in enumerate(plan.queries):
-        _build_query(plan, query_index, query)
+    for query_index, request in enumerate(plan.requests):
+        _build_request(plan, query_index, request)
     if plan.n_queries > 1:
         combine = CombineQueriesNode(
             node_id=plan.new_id(),
@@ -72,7 +98,37 @@ def build_plan(
     return plan
 
 
-def _build_query(plan: QueryPlan, query_index: int, query: ConjunctiveQuery) -> None:
+def _terminal_for(plan: QueryPlan, request, query_index: int) -> TerminalNode:
+    """An (unregistered) terminal node of the request's kind."""
+    common = dict(
+        node_id=plan.new_id(),
+        query_index=query_index,
+        query=request.query,
+    )
+    if request.kind == "probability":
+        return AggregateSessionsNode(**common)
+    if request.kind == "count":
+        return CountSessionsNode(**common)
+    if request.kind == "top_k":
+        return TopKSessionsNode(
+            k=request.k,
+            strategy=request.strategy,
+            n_edges=request.n_edges,
+            **common,
+        )
+    if request.kind == "aggregate":
+        return AttributeAggregateNode(
+            relation=request.relation,
+            column=request.column,
+            statistic=request.statistic,
+            n_worlds=request.n_worlds,
+            **common,
+        )
+    raise ValueError(f"unknown request kind {request.kind!r}")
+
+
+def _build_request(plan: QueryPlan, query_index: int, request) -> None:
+    query = request.query
     analysis = analyze(query, plan.db)
     prelation = plan.db.prelation(analysis.p_relation)
     works = compile_session_work(
@@ -122,10 +178,10 @@ def _build_query(plan: QueryPlan, query_index: int, query: ConjunctiveQuery) -> 
             )
         return found
 
-    aggregate_items: list[tuple] = []
+    terminal_items: list[tuple] = []
     for work in works:
         if work.union is None:
-            aggregate_items.append((work.key, None))
+            terminal_items.append((work.key, None))
             continue
         compile_node = union_node_of(work.union)
         compile_node.n_sessions += 1
@@ -143,17 +199,35 @@ def _build_query(plan: QueryPlan, query_index: int, query: ConjunctiveQuery) -> 
         )
         plan.solve_order.append(solve.node_id)
         plan.n_solves_planned += 1
-        aggregate_items.append((work.key, solve.node_id))
+        terminal_items.append((work.key, solve.node_id))
 
-    aggregate = plan.add(
-        AggregateSessionsNode(
-            node_id=plan.new_id(),
-            inputs=tuple(
-                solve_id for _, solve_id in aggregate_items if solve_id is not None
-            ),
-            query_index=query_index,
-            query=query,
-            items=aggregate_items,
-        )
+    terminal = _terminal_for(plan, request, query_index)
+    terminal.inputs = tuple(
+        solve_id for _, solve_id in terminal_items if solve_id is not None
     )
-    plan.aggregates.append(aggregate.node_id)
+    terminal.items = terminal_items
+    if isinstance(terminal, AttributeAggregateNode):
+        _join_attribute_values(plan, terminal)
+    plan.add(terminal)
+    plan.aggregates.append(terminal.node_id)
+
+
+def _join_attribute_values(
+    plan: QueryPlan, terminal: AttributeAggregateNode
+) -> None:
+    """Join ``relation.column`` for every selected session, at build time.
+
+    Mirrors the historical post-evaluation join of
+    ``aggregate_session_attribute`` — including its error on a session
+    with no attribute row — but runs before any solve, so a malformed
+    aggregate request fails fast.
+    """
+    attribute_relation = plan.db.orelation(terminal.relation)
+    column_index = attribute_relation.column_index(terminal.column)
+    for key, _ in terminal.items:
+        row = attribute_relation.first_row_where({0: key[0]})
+        if row is None:
+            raise KeyError(
+                f"session {key!r} has no row in {terminal.relation}"
+            )
+        terminal.values[key] = float(row[column_index])

@@ -21,6 +21,18 @@ Two modes:
   (the ``auto-approx`` fallback) stay in-process, in plan order, so their
   draws are deterministic given the rng.  This is the serving layer's
   batch path.
+
+Aggregate-aware terminals (the unified query API, :mod:`repro.api`) add a
+third phase after the eager frontier: :class:`~repro.plan.nodes
+.TopKSessionsNode` terminals with the upper-bound strategy own *lazy*
+solves — excluded from the eager frontier, demanded in descending
+upper-bound order, and skipped entirely once the k-th best confirmed
+probability dominates every remaining bound (the paper's top-k pruning) —
+and :class:`~repro.plan.nodes.AttributeAggregateNode` terminals draw their
+Bernoulli possible-world sample.  Terminals run in request order, so rng
+consumption is deterministic.  A lazy solve shared with any eager terminal
+(a Count and a TopK of the same query in one batch) stays eager and the
+top-k loop reads its probability for free.
 """
 
 from __future__ import annotations
@@ -36,15 +48,46 @@ from repro.plan.methods import (
     AUTO_METHODS,
     resolve_solve_method,
 )
-from repro.plan.nodes import QueryPlan, SolveNode
+from repro.plan.nodes import (
+    AttributeAggregateNode,
+    QueryPlan,
+    SolveNode,
+    TerminalNode,
+    TopKSessionsNode,
+)
 from repro.query.engine import (
     QueryResult,
     SessionEvaluation,
     aggregate_sessions,
     solve_session,
 )
+from repro.rim.mixture import MallowsMixture
 from repro.service.cache import SolverCache
 from repro.service.executors import ExecutionBackend, make_solve_task
+from repro.solvers.upper_bound import upper_bound_probability
+
+
+@dataclass
+class TopKOutcome:
+    """What a top-k terminal's adaptive frontier actually did."""
+
+    #: (session_key, probability), sorted best-first (full confirmed set).
+    confirmed: list[tuple] = field(default_factory=list)
+    #: (session_key, solve node id | None) in exact-evaluation order.
+    evaluated: list[tuple] = field(default_factory=list)
+    n_exact: int = 0
+    n_upper_bound: int = 0
+    upper_bound_seconds: float = 0.0
+    exact_seconds: float = 0.0
+
+
+@dataclass
+class AttributeOutcome:
+    """The possible-world estimates of one attribute-aggregate terminal."""
+
+    expectation: float = 0.0
+    probability_any: float = 0.0
+    weighted_average: float = 0.0
 
 
 @dataclass
@@ -59,6 +102,12 @@ class PlanExecution:
     fresh: set[int] = field(default_factory=set)
     #: node ids served by the shared SolverCache
     cache_served: set[int] = field(default_factory=set)
+    #: solve node ids excluded from the eager frontier (top-k demand pool)
+    lazy: set[int] = field(default_factory=set)
+    #: top-k terminal node id -> its adaptive-frontier outcome
+    topk: dict[int, TopKOutcome] = field(default_factory=dict)
+    #: attribute-aggregate terminal node id -> its estimates
+    attribute: dict[int, AttributeOutcome] = field(default_factory=dict)
     #: name of the execution backend ("" for the in-process mode)
     backend: str = ""
     seconds: float = 0.0
@@ -94,6 +143,16 @@ def _node_method(plan: QueryPlan, node: SolveNode) -> str:
     return node.requested_method
 
 
+def _lazy_solve_ids(plan: QueryPlan) -> set[int]:
+    """Solve ids demanded only by lazy (upper-bound top-k) terminals."""
+    lazy: set[int] = set()
+    eager: set[int] = set()
+    for terminal in plan.aggregate_nodes():
+        target = lazy if terminal.lazy else eager
+        target.update(terminal.solve_ids())
+    return lazy - eager
+
+
 def execute_plan(
     plan: QueryPlan,
     cache: SolverCache | None = None,
@@ -103,8 +162,11 @@ def execute_plan(
     """Run the plan's solve frontier; see the module docstring for modes."""
     started = time.perf_counter()
     execution = PlanExecution(backend=backend.name if backend else "")
+    execution.lazy = _lazy_solve_ids(plan)
     pending: list[SolveNode] = []
     for node in plan.solves():
+        if node.node_id in execution.lazy:
+            continue
         if cache is not None and node.cacheable:
             cached = cache.get(node.cache_key)
             if cached is not None:
@@ -118,6 +180,8 @@ def execute_plan(
     else:
         _run_on_backend(plan, pending, execution, backend, cache, rng)
 
+    _run_terminals(plan, execution, cache, rng)
+
     execution.seconds = time.perf_counter() - started
     return execution
 
@@ -130,22 +194,43 @@ def _run_in_process(
     rng,
 ) -> None:
     for node in pending:
-        solve_started = time.perf_counter()
-        probability, solver_name = solve_session(
-            node.model,
-            node.labeling,
-            node.union,
-            method=_node_method(plan, node),
-            rng=rng,
-            **node.options,
-        )
-        execution.seconds_by_solve[node.node_id] = (
-            time.perf_counter() - solve_started
-        )
-        execution.resolved[node.node_id] = (probability, solver_name)
-        execution.fresh.add(node.node_id)
-        if cache is not None and node.cacheable:
-            cache.put(node.cache_key, (probability, solver_name))
+        _demand_solve(plan, node, execution, cache, rng)
+
+
+def _demand_solve(
+    plan: QueryPlan,
+    node: SolveNode,
+    execution: PlanExecution,
+    cache: SolverCache | None,
+    rng,
+) -> float:
+    """The node's probability — already-resolved, cache-served, or fresh."""
+    resolved = execution.resolved.get(node.node_id)
+    if resolved is not None:
+        return resolved[0]
+    if cache is not None and node.cacheable:
+        cached = cache.get(node.cache_key)
+        if cached is not None:
+            execution.resolved[node.node_id] = cached
+            execution.cache_served.add(node.node_id)
+            return cached[0]
+    solve_started = time.perf_counter()
+    probability, solver_name = solve_session(
+        node.model,
+        node.labeling,
+        node.union,
+        method=_node_method(plan, node),
+        rng=rng,
+        **node.options,
+    )
+    execution.seconds_by_solve[node.node_id] = (
+        time.perf_counter() - solve_started
+    )
+    execution.resolved[node.node_id] = (probability, solver_name)
+    execution.fresh.add(node.node_id)
+    if cache is not None and node.cacheable:
+        cache.put(node.cache_key, (probability, solver_name))
+    return probability
 
 
 def _run_on_backend(
@@ -195,13 +280,223 @@ def _run_on_backend(
     _run_in_process(plan, sampled, execution, cache=None, rng=rng)
 
 
-def assemble_results(
+# ----------------------------------------------------------------------
+# Aggregate-aware terminals
+# ----------------------------------------------------------------------
+
+
+def session_upper_bound(model, labeling, union, n_edges: int) -> float:
+    """Upper bound of ``Pr(Q | s)``; mixtures marginalize per component."""
+    if isinstance(model, MallowsMixture):
+        bounds = [
+            upper_bound_probability(
+                component, labeling, union, n_edges=n_edges
+            ).probability
+            for component in model.components
+        ]
+        return model.marginalize(bounds)
+    return upper_bound_probability(
+        model, labeling, union, n_edges=n_edges
+    ).probability
+
+
+def _run_terminals(
     plan: QueryPlan,
     execution: PlanExecution,
+    cache: SolverCache | None,
+    rng,
+) -> None:
+    """Run the adaptive/rng-consuming terminals, in request order."""
+    for terminal in plan.aggregate_nodes():
+        if isinstance(terminal, TopKSessionsNode):
+            execution.topk[terminal.node_id] = _run_topk(
+                plan, terminal, execution, cache, rng
+            )
+        elif isinstance(terminal, AttributeAggregateNode):
+            execution.attribute[terminal.node_id] = _run_attribute(
+                terminal, execution, rng
+            )
+
+
+def _run_topk(
+    plan: QueryPlan,
+    terminal: TopKSessionsNode,
+    execution: PlanExecution,
+    cache: SolverCache | None,
+    rng,
+) -> TopKOutcome:
+    outcome = TopKOutcome()
+
+    def probability_of(solve_id: "int | None") -> float:
+        if solve_id is None:
+            return 0.0
+        return _demand_solve(
+            plan, plan.nodes[solve_id], execution, cache, rng
+        )
+
+    if terminal.strategy == "naive":
+        # Every solve is eager in this strategy; score all sessions.
+        exact_started = time.perf_counter()
+        for key, solve_id in terminal.items:
+            outcome.confirmed.append((key, probability_of(solve_id)))
+            outcome.evaluated.append((key, solve_id))
+        outcome.exact_seconds = time.perf_counter() - exact_started
+        outcome.n_exact = len(terminal.items)
+        outcome.confirmed.sort(key=lambda pair: (-pair[1], repr(pair[0])))
+        return outcome
+
+    # --- upper-bound strategy: the paper's top-k pruning ---------------
+    ub_started = time.perf_counter()
+    bound_memo: dict[int, float] = {}
+    bounded: list[tuple[float, tuple, "int | None"]] = []
+    for key, solve_id in terminal.items:
+        if solve_id is None:
+            bounded.append((0.0, key, None))
+            continue
+        bound = bound_memo.get(solve_id)
+        if bound is None:
+            node = plan.nodes[solve_id]
+            bound = session_upper_bound(
+                node.model, node.labeling, node.union, terminal.n_edges
+            )
+            bound_memo[solve_id] = bound
+        bounded.append((bound, key, solve_id))
+    outcome.upper_bound_seconds = time.perf_counter() - ub_started
+    outcome.n_upper_bound = len(bounded)
+    bounded.sort(key=lambda triple: (-triple[0], repr(triple[1])))
+
+    exact_started = time.perf_counter()
+    confirmed = outcome.confirmed
+    k = terminal.k
+    for bound, key, solve_id in bounded:
+        if len(confirmed) >= k:
+            kth_best = sorted((p for _, p in confirmed), reverse=True)[k - 1]
+            if kth_best >= bound:
+                break  # no remaining session can beat the current top-k
+        confirmed.append((key, probability_of(solve_id)))
+        outcome.evaluated.append((key, solve_id))
+        outcome.n_exact += 1
+    outcome.exact_seconds = time.perf_counter() - exact_started
+    confirmed.sort(key=lambda pair: (-pair[1], repr(pair[0])))
+    return outcome
+
+
+def _run_attribute(
+    terminal: AttributeAggregateNode,
+    execution: PlanExecution,
+    rng,
+) -> AttributeOutcome:
+    """The Section-7 possible-world estimate over resolved probabilities.
+
+    Reproduces the historical ``aggregate_session_attribute`` computation
+    exactly — array shapes, clamping, and rng consumption included — so the
+    legacy envelope stays bit-identical.  Without a caller rng the draws
+    come from a fresh ``default_rng(0)`` per terminal, matching the old
+    per-call default.
+    """
+    probabilities = np.array(
+        [
+            execution.resolved[solve_id][0] if solve_id is not None else 0.0
+            for _, solve_id in terminal.items
+        ]
+    )
+    values = np.array([terminal.values[key] for key, _ in terminal.items])
+    weighted_total = float(probabilities @ values)
+    probability_mass = float(probabilities.sum())
+    weighted_average = (
+        weighted_total / probability_mass if probability_mass > 0 else 0.0
+    )
+
+    local_rng = rng if rng is not None else np.random.default_rng(0)
+    draws = (
+        local_rng.random((terminal.n_worlds, len(terminal.items)))
+        < probabilities
+    )
+    any_satisfied = draws.any(axis=1)
+    if terminal.statistic == "mean":
+        counts = draws.sum(axis=1)
+        sums = draws @ values
+        with np.errstate(invalid="ignore"):
+            world_values = np.where(
+                counts > 0, sums / np.maximum(counts, 1), 0.0
+            )
+        satisfied_values = world_values[any_satisfied]
+    else:
+        satisfied_values = (draws @ values)[any_satisfied]
+    expectation = (
+        float(satisfied_values.mean()) if len(satisfied_values) else 0.0
+    )
+    return AttributeOutcome(
+        expectation=expectation,
+        probability_any=float(any_satisfied.mean()),
+        weighted_average=weighted_average,
+    )
+
+
+# ----------------------------------------------------------------------
+# Assembly
+# ----------------------------------------------------------------------
+
+
+def classify_executed_items(
+    plan: QueryPlan,
+    execution: PlanExecution,
+    items,
+) -> tuple[list[SessionEvaluation], set, set[int], set[int]]:
+    """Fold ``(session_key, solve_id | None)`` pairs into result bookkeeping.
+
+    Returns ``(per_session, group_keys, fresh_ids, served_ids)`` — the one
+    classification both the Boolean assembly and the unified API's
+    per-kind assembly (:mod:`repro.api.evaluate`) share, so the counter
+    semantics cannot drift between kinds.  A solve id that was never
+    executed (pruned by a lazy top-k terminal) raises a descriptive error:
+    such plans must be assembled per kind, from the terminal outcomes.
+    """
+    per_session: list[SessionEvaluation] = []
+    group_keys: set[Hashable] = set()
+    fresh_ids: set[int] = set()
+    served_ids: set[int] = set()
+    for session_key, solve_id in items:
+        if solve_id is None:
+            per_session.append(
+                SessionEvaluation(session_key, 0.0, "unsatisfiable")
+            )
+            continue
+        resolved = execution.resolved.get(solve_id)
+        if resolved is None:
+            raise ValueError(
+                f"solve #{solve_id} was never executed — it was pruned by "
+                f"an upper-bound top-k terminal; assemble such plans with "
+                f"repro.api.assemble_answers, which reads the terminal "
+                f"outcomes instead of the solve frontier"
+            )
+        probability, solver_name = resolved
+        group_keys.add(plan.nodes[solve_id].group_key)
+        if solve_id in execution.fresh:
+            fresh_ids.add(solve_id)
+        elif solve_id in execution.cache_served:
+            served_ids.add(solve_id)
+        per_session.append(
+            SessionEvaluation(session_key, probability, solver_name)
+        )
+    return per_session, group_keys, fresh_ids, served_ids
+
+
+def fresh_solve_seconds(execution: PlanExecution, fresh_ids) -> float:
+    """Wall time of the fresh solves a terminal consumed (batch path)."""
+    return sum(
+        execution.seconds_by_solve.get(node_id, 0.0) for node_id in fresh_ids
+    )
+
+
+def assemble_query_result(
+    plan: QueryPlan,
+    execution: PlanExecution,
+    terminal: TerminalNode,
     batched: bool = False,
     with_cache: bool = False,
-) -> list[QueryResult]:
-    """Per-query results via the engine's shared aggregation.
+) -> QueryResult:
+    """One terminal's sessions folded into the engine's QueryResult shape.
 
     The counters reproduce the pre-plan semantics exactly: per query,
     ``n_solver_calls`` counts the solves executed fresh for it,
@@ -210,51 +505,48 @@ def assemble_results(
     batch-shared solves in the batch path); in the batch path ``seconds``
     is the measured wall time of the fresh solves the query consumed.
     """
-    results: list[QueryResult] = []
-    for aggregate in plan.aggregate_nodes():
-        per_session: list[SessionEvaluation] = []
-        group_keys: set[Hashable] = set()
-        fresh_ids: set[int] = set()
-        served_ids: set[int] = set()
-        for session_key, solve_id in aggregate.items:
-            if solve_id is None:
-                per_session.append(
-                    SessionEvaluation(session_key, 0.0, "unsatisfiable")
-                )
-                continue
-            node = plan.nodes[solve_id]
-            probability, solver_name = execution.resolved[solve_id]
-            group_keys.add(node.group_key)
-            if solve_id in execution.fresh:
-                fresh_ids.add(solve_id)
-            elif solve_id in execution.cache_served:
-                served_ids.add(solve_id)
-            per_session.append(
-                SessionEvaluation(session_key, probability, solver_name)
-            )
-        if batched:
-            stats = {
-                "batched": True,
-                "cache_hits": len(group_keys) - len(fresh_ids),
-            }
-            seconds = sum(
-                execution.seconds_by_solve.get(node_id, 0.0)
-                for node_id in fresh_ids
-            )
-        else:
-            stats = {"cache_hits": len(served_ids)} if with_cache else {}
-            seconds = execution.seconds
-        results.append(
-            QueryResult(
-                probability=aggregate_sessions(per_session),
-                per_session=per_session,
-                n_sessions=len(per_session),
-                n_solver_calls=len(fresh_ids),
-                n_groups=len(group_keys),
-                grouped=True if batched else plan.group_sessions,
-                method=plan.method,
-                seconds=seconds,
-                stats=stats,
-            )
+    per_session, group_keys, fresh_ids, served_ids = classify_executed_items(
+        plan, execution, terminal.items
+    )
+    if batched:
+        stats = {
+            "batched": True,
+            "cache_hits": len(group_keys) - len(fresh_ids),
+        }
+        seconds = fresh_solve_seconds(execution, fresh_ids)
+    else:
+        stats = {"cache_hits": len(served_ids)} if with_cache else {}
+        seconds = execution.seconds
+    return QueryResult(
+        probability=aggregate_sessions(per_session),
+        per_session=per_session,
+        n_sessions=len(per_session),
+        n_solver_calls=len(fresh_ids),
+        n_groups=len(group_keys),
+        grouped=True if batched else plan.group_sessions,
+        method=plan.method,
+        seconds=seconds,
+        stats=stats,
+    )
+
+
+def assemble_results(
+    plan: QueryPlan,
+    execution: PlanExecution,
+    batched: bool = False,
+    with_cache: bool = False,
+) -> list[QueryResult]:
+    """Per-query results via the engine's shared aggregation.
+
+    Boolean-plan assembly: every terminal folds into a
+    :class:`~repro.query.engine.QueryResult` (probability and count
+    terminals share the session shape).  The unified API assembles the
+    kind-specific envelopes on top — see
+    :func:`repro.api.evaluate.assemble_answers`.
+    """
+    return [
+        assemble_query_result(
+            plan, execution, terminal, batched=batched, with_cache=with_cache
         )
-    return results
+        for terminal in plan.aggregate_nodes()
+    ]

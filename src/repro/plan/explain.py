@@ -11,12 +11,15 @@ eliminated / frontier counters.  Costs print in engineering notation
 from __future__ import annotations
 
 from repro.plan.nodes import (
-    AggregateSessionsNode,
+    AttributeAggregateNode,
     CompileUnionNode,
+    CountSessionsNode,
     GroundSessionsNode,
     QueryPlan,
     SelectSessionsNode,
     SolveNode,
+    TerminalNode,
+    TopKSessionsNode,
 )
 
 
@@ -27,7 +30,10 @@ def _cost(value: "float | None") -> str:
 
 
 def _query_text(plan: QueryPlan, query_index: int) -> str:
-    return str(plan.queries[query_index])
+    request = plan.requests[query_index]
+    # Prefixed request kinds render their grammar form (COUNT ..., TOPK k
+    # ..., AGG stat(R.col) ...); a plain probability stays the bare query.
+    return request.describe()
 
 
 def explain_plan(plan: QueryPlan, execution=None) -> str:
@@ -81,10 +87,7 @@ def explain_plan(plan: QueryPlan, execution=None) -> str:
                 f"  z={compile_node.z} sessions={compile_node.n_sessions}{extra}"
             )
         lines.extend(_solve_lines(plan, aggregate, described, execution))
-        lines.append(
-            f"  AggregateSessions  Pr(Q|D) = 1 - prod(1 - p_s)"
-            f" over {len(aggregate.items)} sessions"
-        )
+        lines.append(_terminal_line(aggregate, execution))
     if plan.combine is not None:
         lines.append(f"CombineQueries  {plan.n_queries} queries")
 
@@ -104,6 +107,42 @@ def explain_plan(plan: QueryPlan, execution=None) -> str:
             + (f", backend={execution.backend}" if execution.backend else "")
         )
     return "\n".join(lines)
+
+
+def _terminal_line(terminal: TerminalNode, execution) -> str:
+    """Render the per-request terminal node, by kind."""
+    n_sessions = len(terminal.items)
+    if isinstance(terminal, CountSessionsNode):
+        return (
+            f"  CountSessions  E[count(Q)] = sum(p_s)"
+            f" over {n_sessions} sessions"
+        )
+    if isinstance(terminal, TopKSessionsNode):
+        line = (
+            f"  TopKSessions  k={terminal.k} strategy={terminal.strategy}"
+            f" n_edges={terminal.n_edges} over {n_sessions} sessions"
+        )
+        outcome = (
+            execution.topk.get(terminal.node_id)
+            if execution is not None
+            else None
+        )
+        if outcome is not None:
+            line += (
+                f"  [exact={outcome.n_exact}"
+                f" pruned={n_sessions - outcome.n_exact}]"
+            )
+        return line
+    if isinstance(terminal, AttributeAggregateNode):
+        return (
+            f"  AttributeAggregate  E[{terminal.statistic}"
+            f"({terminal.relation}.{terminal.column}) | count(Q) > 0]"
+            f" n_worlds={terminal.n_worlds} over {n_sessions} sessions"
+        )
+    return (
+        f"  AggregateSessions  Pr(Q|D) = 1 - prod(1 - p_s)"
+        f" over {n_sessions} sessions"
+    )
 
 
 def _solve_lines(
@@ -134,6 +173,9 @@ def _solve_lines(
             elif solve_id in execution.fresh:
                 _, solver_name = execution.resolved[solve_id]
                 outcome = f"  [solved: {solver_name}]"
+            elif solve_id not in execution.resolved:
+                # A lazy top-k solve the bound pruning never demanded.
+                outcome = "  [pruned]"
         hint = (
             "  (lifted estimated cheaper)"
             if "lifted_hint" in node.annotations

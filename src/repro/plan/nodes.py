@@ -16,12 +16,24 @@ The nodes split into two layers:
   ``CompileUnionNode``) record what the builder did — how many sessions a
   query selected, how the session-atom joins grounded, which pattern unions
   compilation produced — so ``explain()`` can show the whole pipeline;
-* **physical nodes** (``SolveNode``, ``AggregateSessionsNode``,
+* **physical nodes** (``SolveNode``, the :class:`TerminalNode` family,
   ``CombineQueriesNode``) are what the optimizer rewrites and the executor
   runs.  A ``SolveNode`` starts as one *planned* solve per satisfiable
   session; the optimizer passes (:mod:`repro.plan.passes`) resolve its
   method, annotate its cost, and merge identical nodes, so the executor
   (:mod:`repro.plan.execute`) only ever runs the surviving frontier.
+
+Since the unified query API (:mod:`repro.api`), every request kind ends in
+its own *terminal* node over the shared solve frontier:
+``AggregateSessionsNode`` (Boolean probability, Section 3.1),
+``CountSessionsNode`` (``E[count(Q)]``, Section 3.2),
+``TopKSessionsNode`` (``top(Q, k)`` with the upper-bound pruning of
+Section 4.3.2 — its exclusive solves are *lazy*: demanded in bound order
+and skipped entirely once the k-th best confirmed probability dominates
+the remaining bounds), and ``AttributeAggregateNode`` (the Section 7
+attribute aggregates).  Terminals of different kinds over the same query
+consume the *same* solve nodes, which is what makes mixed-kind batches
+share solver work.
 
 The IR deliberately reuses the engine's value types (models, labelings,
 :class:`~repro.patterns.union.PatternUnion`) rather than re-encoding them:
@@ -147,12 +159,14 @@ class SolveNode(PlanNode):
 
 
 @dataclass
-class AggregateSessionsNode(PlanNode):
-    """Independent-session aggregation of one query.
+class TerminalNode(PlanNode):
+    """Base of the per-request terminal nodes.
 
-    ``items`` lists the query's sessions in selection order, each pointing
-    at the :class:`SolveNode` that produces its probability — or ``None``
-    for sessions where the query is unsatisfiable (probability 0).
+    ``items`` lists the request's sessions in selection order, each
+    pointing at the :class:`SolveNode` that produces its probability — or
+    ``None`` for sessions where the query is unsatisfiable (probability 0).
+    The optimizer's elimination pass repoints ``items`` when solve nodes
+    merge, uniformly for every terminal kind.
     """
 
     query_index: int = 0
@@ -160,15 +174,80 @@ class AggregateSessionsNode(PlanNode):
     #: (session_key, solve node id | None), in session-selection order.
     items: list[tuple[SessionKey, int | None]] = field(default_factory=list)
 
-    kind = "aggregate_sessions"
+    kind = "terminal"
 
     def solve_ids(self) -> list[int]:
-        """Distinct solve-node ids this query consumes, first-use order."""
+        """Distinct solve-node ids this request consumes, first-use order."""
         seen: list[int] = []
         for _, solve_id in self.items:
             if solve_id is not None and solve_id not in seen:
                 seen.append(solve_id)
         return seen
+
+    @property
+    def lazy(self) -> bool:
+        """True when this terminal demand-solves instead of running eagerly."""
+        return False
+
+
+@dataclass
+class AggregateSessionsNode(TerminalNode):
+    """Independent-session aggregation of one Boolean query:
+    ``Pr(Q | D) = 1 - prod_i (1 - Pr(Q | s_i))``."""
+
+    kind = "aggregate_sessions"
+
+
+@dataclass
+class CountSessionsNode(TerminalNode):
+    """Count-Session terminal: ``E[count(Q)] = sum_i Pr(Q | s_i)``."""
+
+    kind = "count_sessions"
+
+
+@dataclass
+class TopKSessionsNode(TerminalNode):
+    """Most-Probable-Session terminal: the ``k`` best-supported sessions.
+
+    With ``strategy="upper_bound"`` the terminal owns an *adaptive*
+    frontier: its exclusive solve nodes are lazy (excluded from the eager
+    frontier) and demanded in descending upper-bound order until the k-th
+    best confirmed probability dominates every remaining bound — solves
+    past that point never run.  A solve shared with any non-lazy terminal
+    (e.g. a Count of the same query in the batch) stays eager, and the
+    top-k loop consumes its already-resolved probability for free.
+    """
+
+    k: int = 1
+    strategy: str = "upper_bound"
+    n_edges: int = 1
+
+    kind = "top_k_sessions"
+
+    @property
+    def lazy(self) -> bool:
+        return self.strategy == "upper_bound"
+
+
+@dataclass
+class AttributeAggregateNode(TerminalNode):
+    """Attribute-aggregate terminal (Section 7): a statistic of a session
+    attribute over the satisfying sessions, estimated from ``n_worlds``
+    Bernoulli possible-world draws over the per-session probabilities.
+
+    ``values`` holds the attribute value of every selected session, joined
+    from ``relation.column`` at build time (so a missing attribute row
+    fails at plan construction, before any solve runs).
+    """
+
+    relation: str = ""
+    column: str = ""
+    statistic: str = "mean"
+    n_worlds: int = 10_000
+    #: session key -> attribute value, for every key in ``items``.
+    values: dict = field(default_factory=dict)
+
+    kind = "attribute_aggregate"
 
 
 @dataclass
@@ -181,29 +260,37 @@ class CombineQueriesNode(PlanNode):
 
 
 class QueryPlan:
-    """A buildable, rewritable, executable plan for one query or a batch.
+    """A buildable, rewritable, executable plan for one request or a batch.
 
     The plan owns its nodes (``nodes[node_id]``), an explicit execution
     order over the surviving solve frontier (``solve_order``), one
-    :class:`AggregateSessionsNode` per query (``aggregates``), and the
-    counters the optimizer passes maintain (``n_solves_planned``,
-    ``n_solves_eliminated``, ``passes_applied``).  ``optimize`` /
-    ``execute`` / ``explain`` live in their own modules
+    :class:`TerminalNode` per request (``terminals`` — an
+    :class:`AggregateSessionsNode` for Boolean queries, the aggregate-aware
+    kinds for the rest), and the counters the optimizer passes maintain
+    (``n_solves_planned``, ``n_solves_eliminated``, ``passes_applied``).
+    ``optimize`` / ``execute`` / ``explain`` live in their own modules
     (:mod:`repro.plan.passes`, :mod:`repro.plan.execute`,
     :mod:`repro.plan.explain`); the convenience methods here delegate.
+
+    ``requests`` holds the typed request objects the plan was built from
+    (:mod:`repro.api.requests`); ``queries`` their underlying Boolean CQs,
+    in request order.
     """
 
     def __init__(
         self,
         db,
-        queries: list[ConjunctiveQuery],
+        requests: list,
         method: str = "auto",
         options: dict[str, Any] | None = None,
         group_sessions: bool = True,
         session_limit: int | None = None,
     ):
         self.db = db
-        self.queries = queries
+        self.requests = requests
+        self.queries: list[ConjunctiveQuery] = [
+            request.query for request in requests
+        ]
         self.method = method
         self.options = dict(options or {})
         self.group_sessions = group_sessions
@@ -221,7 +308,9 @@ class QueryPlan:
         self.nodes: dict[int, PlanNode] = {}
         #: Solve-node ids in execution order (rewritten by the passes).
         self.solve_order: list[int] = []
-        #: Per-query aggregate node ids, in query order.
+        #: Per-request terminal node ids, in request order.  (Named for the
+        #: historical Boolean-only shape, where every terminal was an
+        #: AggregateSessionsNode; kept as the stable attribute name.)
         self.aggregates: list[int] = []
         self.combine: int | None = None
 
@@ -256,8 +345,12 @@ class QueryPlan:
         """The surviving solve frontier, in execution order."""
         return [self.nodes[node_id] for node_id in self.solve_order]
 
-    def aggregate_nodes(self) -> list[AggregateSessionsNode]:
+    def aggregate_nodes(self) -> list[TerminalNode]:
+        """The per-request terminal nodes, in request order."""
         return [self.nodes[node_id] for node_id in self.aggregates]
+
+    #: Alias reflecting the unified-API vocabulary.
+    terminal_nodes = aggregate_nodes
 
     def stats(self) -> dict[str, int]:
         """The plan-level counters the serving layer reports."""

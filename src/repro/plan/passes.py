@@ -23,6 +23,10 @@ Five passes, applied in order by :func:`optimize_plan`:
    dicts, across queries) or by object identity (``canonical=False``,
    the engine's cacheless behavior).  Merged nodes disappear from the
    frontier; their sessions repoint to the surviving representative.
+   The repoint sweep is terminal-kind agnostic: a Count and a Probability
+   (or TopK, or attribute Aggregate) of the same query share one merged
+   solve, which is what makes mixed-kind batches of the unified API
+   (:mod:`repro.api`) no more expensive than their hardest member.
 5. :func:`order_solves` — reorder the surviving frontier largest-first
    (LPT): big solves start immediately on a worker pool instead of
    straggling.  Skipped when any solve is rng-driven — sampling results

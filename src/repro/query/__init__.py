@@ -13,6 +13,11 @@ The pipeline:
    aggregation, and the identical-request grouping of Section 6.4;
 6. :mod:`repro.query.aggregates` — Count-Session and Most-Probable-Session
    (with the top-k upper-bound optimization of Section 3.2).
+
+Since the unified query API, :func:`evaluate` and the aggregate functions
+are thin deprecated wrappers over :mod:`repro.api`: every query kind is a
+typed request evaluated through the plan pipeline (:mod:`repro.plan`),
+with these entry points kept bit-identical for compatibility.
 """
 
 from repro.query.aggregates import (
@@ -32,9 +37,10 @@ from repro.query.ast import (
 from repro.query.classify import QueryAnalysis, UnsupportedQueryError, analyze
 from repro.query.engine import QueryResult, SessionEvaluation, evaluate
 from repro.query.ground import decompose_query
-from repro.query.parser import parse_query
+from repro.query.parser import QuerySyntaxError, parse_query
 
 __all__ = [
+    "QuerySyntaxError",
     "Variable",
     "Constant",
     "WILDCARD",

@@ -11,42 +11,49 @@
     (Section 4.3.2, 1 or 2 edges per pattern), then evaluate sessions
     exactly in descending upper-bound order, stopping as soon as the k-th
     best exact probability is at least the largest remaining upper bound.
+
+Since the unified query API (:mod:`repro.api`), the functions here are
+thin deprecated wrappers: each builds the typed request of its kind
+(:class:`~repro.api.requests.Count`, :class:`~repro.api.requests.TopK`,
+:class:`~repro.api.requests.Aggregate`) and evaluates it through the one
+plan pipeline (build -> optimize -> execute, :mod:`repro.plan`), which is
+what gives these query kinds cross-query caching, batch dedup, execution
+backends, and ``explain`` for free.  The result dataclasses are kept
+bit-identical to their pre-redesign outputs; new code should prefer
+:func:`repro.api.answer` and the :class:`~repro.api.answer.Answer`
+envelope.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Hashable
 
 import numpy as np
 
 from repro.db.database import PPDatabase
-from repro.patterns.labels import Labeling
-from repro.patterns.union import PatternUnion
 from repro.query.ast import ConjunctiveQuery
-from repro.query.classify import analyze
-from repro.query.compile import labeling_for_patterns
-from repro.query.engine import (
-    SessionWork,
-    compile_session_work,
-    evaluate,
-    solve_session,
-)
-from repro.rim.mixture import MallowsMixture
-from repro.solvers.upper_bound import upper_bound_probability
 
 SessionKey = tuple[Hashable, ...]
 
 
 @dataclass
 class CountResult:
-    """The expectation of count(Q) with its per-session breakdown."""
+    """The expectation of count(Q) with its per-session breakdown.
+
+    Deprecated thin envelope over :class:`~repro.api.answer.Answer`.
+    ``method`` records the *requested* method string (e.g. ``"auto"``, for
+    backward compatibility); ``resolved_methods`` the distinct solver
+    names that actually ran, exactly as ``QueryResult.per_session``
+    reports them.
+    """
 
     expectation: float
     per_session: list[tuple[SessionKey, float]]
     seconds: float
     method: str
+    #: Distinct per-session solver names that actually ran, sorted.
+    resolved_methods: tuple[str, ...] = ()
 
 
 def count_session(
@@ -56,24 +63,25 @@ def count_session(
     rng: np.random.Generator | None = None,
     **solver_options,
 ) -> CountResult:
-    """``count(Q)``: the expected number of satisfying sessions."""
-    started = time.perf_counter()
-    result = evaluate(query, db, method=method, rng=rng, **solver_options)
-    per_session = [
-        (evaluation.key, evaluation.probability)
-        for evaluation in result.per_session
-    ]
-    return CountResult(
-        expectation=float(sum(p for _, p in per_session)),
-        per_session=per_session,
-        seconds=time.perf_counter() - started,
-        method=method,
-    )
+    """``count(Q)``: the expected number of satisfying sessions.
+
+    Deprecated thin wrapper over the unified API — equivalent to
+    ``answer(Count(query), ...).to_legacy()``.
+    """
+    from repro.api.evaluate import answer
+    from repro.api.requests import Count
+
+    return answer(
+        Count(query), db, method=method, rng=rng, **solver_options
+    ).to_legacy()
 
 
 @dataclass
 class AttributeAggregateResult:
-    """An aggregate of a session attribute over the satisfying sessions."""
+    """An aggregate of a session attribute over the satisfying sessions.
+
+    Deprecated thin envelope over :class:`~repro.api.answer.Answer`.
+    """
 
     expectation: float
     probability_any: float
@@ -109,6 +117,9 @@ def aggregate_session_attribute(
     ratio estimate ``sum p_i v_i / sum p_i`` is reported alongside as
     ``weighted_average``.
 
+    Deprecated thin wrapper over the unified API — equivalent to
+    ``answer(Aggregate(query, relation, column, ...), ...).to_legacy()``.
+
     Parameters
     ----------
     relation, column:
@@ -117,58 +128,30 @@ def aggregate_session_attribute(
     statistic:
         ``"mean"`` or ``"sum"`` of the attribute over satisfying sessions.
     """
-    if statistic not in ("mean", "sum"):
-        raise ValueError(f"unsupported statistic {statistic!r}")
-    started = time.perf_counter()
-    result = evaluate(query, db, method=method, rng=rng, **solver_options)
-    attribute_relation = db.orelation(relation)
-    column_index = attribute_relation.column_index(column)
-    per_session: list[tuple[SessionKey, float, float]] = []
-    for evaluation in result.per_session:
-        row = attribute_relation.first_row_where({0: evaluation.key[0]})
-        if row is None:
-            raise KeyError(
-                f"session {evaluation.key!r} has no row in {relation}"
-            )
-        per_session.append(
-            (evaluation.key, evaluation.probability, float(row[column_index]))
-        )
+    from repro.api.evaluate import answer
+    from repro.api.requests import Aggregate
 
-    probabilities = np.array([p for _, p, _ in per_session])
-    values = np.array([v for _, _, v in per_session])
-    weighted_total = float(probabilities @ values)
-    probability_mass = float(probabilities.sum())
-    weighted_average = (
-        weighted_total / probability_mass if probability_mass > 0 else 0.0
-    )
-
-    if rng is None:
-        rng = np.random.default_rng(0)
-    draws = rng.random((n_worlds, len(per_session))) < probabilities
-    any_satisfied = draws.any(axis=1)
-    if statistic == "mean":
-        counts = draws.sum(axis=1)
-        sums = draws @ values
-        with np.errstate(invalid="ignore"):
-            world_values = np.where(counts > 0, sums / np.maximum(counts, 1), 0.0)
-        satisfied_values = world_values[any_satisfied]
-    else:
-        satisfied_values = (draws @ values)[any_satisfied]
-    expectation = float(satisfied_values.mean()) if len(satisfied_values) else 0.0
-
-    return AttributeAggregateResult(
-        expectation=expectation,
-        probability_any=float(any_satisfied.mean()),
-        weighted_average=weighted_average,
-        n_worlds=n_worlds,
-        per_session=per_session,
-        seconds=time.perf_counter() - started,
-    )
+    return answer(
+        Aggregate(
+            query,
+            relation=relation,
+            column=column,
+            statistic=statistic,
+            n_worlds=n_worlds,
+        ),
+        db,
+        method=method,
+        rng=rng,
+        **solver_options,
+    ).to_legacy()
 
 
 @dataclass
 class TopKResult:
-    """The k most supportive sessions, with the optimization's effort stats."""
+    """The k most supportive sessions, with the optimization's effort stats.
+
+    Deprecated thin envelope over :class:`~repro.api.answer.Answer`.
+    """
 
     sessions: list[tuple[SessionKey, float]]
     k: int
@@ -179,37 +162,6 @@ class TopKResult:
     upper_bound_seconds: float = 0.0
     exact_seconds: float = 0.0
     stats: dict = field(default_factory=dict)
-
-
-def _labeling_cache(db: PPDatabase, items) -> dict:
-    cache: dict[PatternUnion, Labeling] = {}
-
-    def labeling_of(union: PatternUnion) -> Labeling:
-        cached = cache.get(union)
-        if cached is None:
-            cached = labeling_for_patterns(union.patterns, items, db)
-            cache[union] = cached
-        return cached
-
-    return labeling_of
-
-
-def _session_upper_bound(
-    work: SessionWork, labeling: Labeling, n_edges: int
-) -> float:
-    """Upper bound of Pr(Q | s); mixtures marginalize per component."""
-    model = work.model
-    if isinstance(model, MallowsMixture):
-        bounds = [
-            upper_bound_probability(
-                component, labeling, work.union, n_edges=n_edges
-            ).probability
-            for component in model.components
-        ]
-        return model.marginalize(bounds)
-    return upper_bound_probability(
-        model, labeling, work.union, n_edges=n_edges
-    ).probability
 
 
 def most_probable_session(
@@ -225,6 +177,12 @@ def most_probable_session(
 ) -> TopKResult:
     """``top(Q, k)``: the k sessions most likely to satisfy ``Q``.
 
+    Deprecated thin wrapper over the unified API — equivalent to
+    ``answer(TopK(query, k, strategy, n_edges), ...).to_legacy()``.  The
+    upper-bound strategy executes as a *lazy* plan frontier: solves are
+    demanded in descending bound order and pruned solves never run (see
+    :class:`~repro.plan.nodes.TopKSessionsNode`).
+
     Parameters
     ----------
     strategy:
@@ -233,79 +191,14 @@ def most_probable_session(
         constraint edges per pattern (1 -> two-label bounds, 2+ ->
         bipartite bounds).
     """
-    if k < 1:
-        raise ValueError("k must be at least 1")
-    if strategy not in ("naive", "upper_bound"):
-        raise ValueError(f"unknown strategy {strategy!r}")
-    started = time.perf_counter()
-    analysis = analyze(query, db)
-    items = db.prelation(analysis.p_relation).items
-    works = compile_session_work(
-        query, db, analysis=analysis, session_limit=session_limit
-    )
-    labeling_of = _labeling_cache(db, items)
+    from repro.api.evaluate import answer
+    from repro.api.requests import TopK
 
-    def exact_probability(work: SessionWork) -> float:
-        if work.union is None:
-            return 0.0
-        probability, _ = solve_session(
-            work.model,
-            labeling_of(work.union),
-            work.union,
-            method=method,
-            rng=rng,
-            **solver_options,
-        )
-        return probability
-
-    if strategy == "naive":
-        exact_started = time.perf_counter()
-        scored = [(work.key, exact_probability(work)) for work in works]
-        exact_seconds = time.perf_counter() - exact_started
-        scored.sort(key=lambda pair: (-pair[1], repr(pair[0])))
-        return TopKResult(
-            sessions=scored[:k],
-            k=k,
-            strategy=strategy,
-            n_exact_evaluations=len(works),
-            n_upper_bound_evaluations=0,
-            seconds=time.perf_counter() - started,
-            exact_seconds=exact_seconds,
-        )
-
-    # --- upper-bound strategy -------------------------------------------
-    ub_started = time.perf_counter()
-    bounded: list[tuple[float, SessionWork]] = []
-    for work in works:
-        if work.union is None:
-            bounded.append((0.0, work))
-            continue
-        bound = _session_upper_bound(work, labeling_of(work.union), n_edges)
-        bounded.append((bound, work))
-    upper_bound_seconds = time.perf_counter() - ub_started
-    bounded.sort(key=lambda pair: (-pair[0], repr(pair[1].key)))
-
-    exact_started = time.perf_counter()
-    confirmed: list[tuple[SessionKey, float]] = []
-    n_exact = 0
-    for index, (bound, work) in enumerate(bounded):
-        if len(confirmed) >= k:
-            kth_best = sorted((p for _, p in confirmed), reverse=True)[k - 1]
-            if kth_best >= bound:
-                break  # no remaining session can beat the current top-k
-        probability = exact_probability(work)
-        n_exact += 1
-        confirmed.append((work.key, probability))
-    exact_seconds = time.perf_counter() - exact_started
-    confirmed.sort(key=lambda pair: (-pair[1], repr(pair[0])))
-    return TopKResult(
-        sessions=confirmed[:k],
-        k=k,
-        strategy=strategy,
-        n_exact_evaluations=n_exact,
-        n_upper_bound_evaluations=len(works),
-        seconds=time.perf_counter() - started,
-        upper_bound_seconds=upper_bound_seconds,
-        exact_seconds=exact_seconds,
-        stats={"n_sessions": len(works), "n_edges": n_edges},
-    )
+    return answer(
+        TopK(query, k=k, strategy=strategy, n_edges=n_edges),
+        db,
+        method=method,
+        rng=rng,
+        session_limit=session_limit,
+        **solver_options,
+    ).to_legacy()

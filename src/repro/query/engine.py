@@ -35,7 +35,6 @@ made of, and remain the public per-session API.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Any, Hashable
 
@@ -361,12 +360,14 @@ def evaluate(
 ) -> QueryResult:
     """Evaluate a Boolean CQ: the probability it holds in a random world.
 
-    A thin build -> optimize -> execute wrapper over the query planner
-    (:mod:`repro.plan`): the query is compiled into an explicit plan DAG,
-    the optimizer passes resolve solver methods, annotate costs, and merge
-    identical solves, and the executor runs the surviving frontier through
-    the unchanged solver stack — bit-identical to the historical monolithic
-    path, probabilities and solver attributions included.
+    A thin deprecated wrapper over the unified query API
+    (:func:`repro.api.evaluate.answer` with a
+    :class:`~repro.api.requests.Probability` request): the query is
+    compiled into an explicit plan DAG, the optimizer passes resolve
+    solver methods, annotate costs, and merge identical solves, and the
+    executor runs the surviving frontier through the unchanged solver
+    stack — bit-identical to the historical monolithic path,
+    probabilities and solver attributions included.
 
     Parameters
     ----------
@@ -402,40 +403,18 @@ def evaluate(
         Forwarded to the chosen solver (e.g. ``n_proposals=10`` for
         MIS-AMP-lite, ``time_budget=60`` for exact solvers).
     """
-    # Deferred: the plan package builds on this module's primitives.
-    from repro.plan.build import build_plan
-    from repro.plan.execute import assemble_results, execute_plan
-    from repro.plan.passes import optimize_plan
+    # Deferred: the unified API builds on this module's primitives.
+    from repro.api.evaluate import answer
+    from repro.api.requests import Probability
 
-    started = time.perf_counter()
-    # Canonical cache keys are computed by the optimizer's elimination
-    # pass, so the unoptimized reference plan is also cacheless — it is
-    # the naive baseline, not a differently-keyed cache client.
-    use_cache = (
-        cache is not None
-        and method not in APPROXIMATE_METHODS
-        and group_sessions
-        and optimize
-    )
-    plan = build_plan(
-        query,
+    return answer(
+        Probability(query),
         db,
         method=method,
-        options=solver_options,
+        rng=rng,
         group_sessions=group_sessions,
         session_limit=session_limit,
-    )
-    if optimize:
-        optimize_plan(plan, canonical=use_cache)
-    execution = execute_plan(plan, cache=cache if use_cache else None, rng=rng)
-    if use_cache:
-        cache.record_plan(
-            plan.n_solves_planned,
-            plan.n_solves_eliminated,
-            len(plan.passes_applied),
-        )
-    result = assemble_results(
-        plan, execution, batched=False, with_cache=use_cache
-    )[0]
-    result.seconds = time.perf_counter() - started
-    return result
+        cache=cache,
+        optimize=optimize,
+        **solver_options,
+    ).to_legacy()

@@ -16,6 +16,13 @@ variable; ``_`` is the anonymous wildcard.  The running example Q2 of the
 paper reads::
 
     Q() <- P(_, _; c1; c2), C(c1, 'D', _, _, e, _), C(c2, 'R', _, _, e, _)
+
+Syntax errors carry their source position: every :class:`QuerySyntaxError`
+raised here has an ``offset`` (the character offset of the offending token
+in the original text) and renders a caret excerpt pointing at it.  The
+extended request grammar (``COUNT`` / ``TOPK`` / ``AGG`` prefixes, see
+:mod:`repro.api.requests`) parses its query tail through this module with a
+``base_offset``, so offsets stay relative to the full request text.
 """
 
 from __future__ import annotations
@@ -34,9 +41,59 @@ from repro.query.ast import (
     WILDCARD,
 )
 
+#: Width of the caret excerpt window around the error position.
+_EXCERPT_WINDOW = 60
+
+
+def caret_excerpt(source: str, offset: int) -> str:
+    """A two-line excerpt of ``source`` with a caret under ``offset``.
+
+    Long sources are windowed to ``_EXCERPT_WINDOW`` characters around the
+    offset, with ``...`` ellipses marking truncation, so the caret always
+    lands inside the printed line.
+    """
+    offset = max(0, min(offset, len(source)))
+    start, end = 0, len(source)
+    prefix = suffix = ""
+    if end - start > _EXCERPT_WINDOW:
+        half = _EXCERPT_WINDOW // 2
+        start = max(0, offset - half)
+        end = min(len(source), start + _EXCERPT_WINDOW)
+        start = max(0, end - _EXCERPT_WINDOW)
+        if start > 0:
+            prefix = "..."
+        if end < len(source):
+            suffix = "..."
+    line = prefix + source[start:end] + suffix
+    caret = " " * (len(prefix) + offset - start) + "^"
+    return f"    {line}\n    {caret}"
+
 
 class QuerySyntaxError(ValueError):
-    """Raised on malformed query text."""
+    """Raised on malformed query text, carrying the source position.
+
+    ``offset`` is the character offset of the offending token in the
+    original text (``None`` when the error is not anchored to a position);
+    ``source`` is that text.  The rendered message appends the offset and a
+    caret excerpt when both are known.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        source: str | None = None,
+        offset: int | None = None,
+    ):
+        self.message = message
+        self.source = source
+        self.offset = offset
+        rendered = message
+        if offset is not None:
+            rendered = f"{message} (at offset {offset})"
+            if source is not None:
+                rendered += "\n" + caret_excerpt(source, offset)
+        super().__init__(rendered)
 
 
 _TOKEN_RE = re.compile(
@@ -54,39 +111,48 @@ _TOKEN_RE = re.compile(
 )
 
 
-def _tokenize(text: str) -> Iterator[tuple[str, str]]:
+def _tokenize(
+    text: str, source: str, base_offset: int
+) -> Iterator[tuple[str, str, int]]:
     position = 0
     while position < len(text):
         match = _TOKEN_RE.match(text, position)
         if match is None:
             raise QuerySyntaxError(
-                f"unexpected character {text[position]!r} at offset {position}"
+                f"unexpected character {text[position]!r}",
+                source=source,
+                offset=base_offset + position,
             )
+        start = position
         position = match.end()
         kind = match.lastgroup
         if kind in ("ws", "head"):
             continue
-        yield kind, match.group()
-    yield "eof", ""
+        yield kind, match.group(), base_offset + start
+    yield "eof", "", base_offset + len(text)
 
 
 class _Parser:
-    def __init__(self, text: str):
-        self._tokens = list(_tokenize(text))
+    def __init__(self, text: str, source: str | None = None, base_offset: int = 0):
+        self._source = text if source is None else source
+        self._tokens = list(_tokenize(text, self._source, base_offset))
         self._index = 0
 
-    def _peek(self) -> tuple[str, str]:
+    def _peek(self) -> tuple[str, str, int]:
         return self._tokens[self._index]
 
-    def _next(self) -> tuple[str, str]:
+    def _next(self) -> tuple[str, str, int]:
         token = self._tokens[self._index]
         self._index += 1
         return token
 
+    def _error(self, message: str, offset: int) -> QuerySyntaxError:
+        return QuerySyntaxError(message, source=self._source, offset=offset)
+
     def _expect(self, value: str) -> None:
-        kind, text = self._next()
+        kind, text, offset = self._next()
         if text != value:
-            raise QuerySyntaxError(f"expected {value!r}, found {text!r}")
+            raise self._error(f"expected {value!r}, found {text!r}", offset)
 
     def parse(self) -> ConjunctiveQuery:
         p_atoms: list[PAtom] = []
@@ -94,38 +160,44 @@ class _Parser:
         comparisons: list[Comparison] = []
         while True:
             self._parse_conjunct(p_atoms, o_atoms, comparisons)
-            kind, text = self._peek()
+            kind, text, offset = self._peek()
             if text == ",":
                 self._next()
                 continue
             if kind == "eof":
                 break
-            raise QuerySyntaxError(f"expected ',' or end of query, found {text!r}")
+            raise self._error(
+                f"expected ',' or end of query, found {text!r}", offset
+            )
         return ConjunctiveQuery(tuple(p_atoms), tuple(o_atoms), tuple(comparisons))
 
     def _parse_conjunct(self, p_atoms, o_atoms, comparisons) -> None:
-        kind, text = self._next()
+        kind, text, offset = self._next()
         if kind != "name":
-            raise QuerySyntaxError(f"expected atom or comparison, found {text!r}")
+            raise self._error(
+                f"expected atom or comparison, found {text!r}", offset
+            )
         name = text
-        next_kind, next_text = self._peek()
+        next_kind, next_text, next_offset = self._peek()
         if next_text == "(":
-            self._parse_atom(name, p_atoms, o_atoms)
+            self._parse_atom(name, offset, p_atoms, o_atoms)
             return
         if next_kind == "op":
-            _, op = self._next()
+            _, op, _ = self._next()
             comparisons.append(Comparison(Variable(name), op, self._literal()))
             return
-        raise QuerySyntaxError(
-            f"expected '(' or comparison operator after {name!r}, found {next_text!r}"
+        raise self._error(
+            f"expected '(' or comparison operator after {name!r}, "
+            f"found {next_text!r}",
+            next_offset,
         )
 
-    def _parse_atom(self, name: str, p_atoms, o_atoms) -> None:
+    def _parse_atom(self, name: str, name_offset: int, p_atoms, o_atoms) -> None:
         self._expect("(")
         groups: list[list[Term]] = [[]]
         while True:
             groups[-1].append(self._term())
-            kind, text = self._next()
+            kind, text, offset = self._next()
             if text == ",":
                 continue
             if text == ";":
@@ -133,20 +205,21 @@ class _Parser:
                 continue
             if text == ")":
                 break
-            raise QuerySyntaxError(f"expected ',', ';' or ')', found {text!r}")
+            raise self._error(f"expected ',', ';' or ')', found {text!r}", offset)
         if len(groups) == 1:
             o_atoms.append(OAtom(name, tuple(groups[0])))
             return
         if len(groups) != 3 or len(groups[1]) != 1 or len(groups[2]) != 1:
-            raise QuerySyntaxError(
-                f"p-atom {name} must have the form {name}(session...; item; item)"
+            raise self._error(
+                f"p-atom {name} must have the form {name}(session...; item; item)",
+                name_offset,
             )
         p_atoms.append(
             PAtom(name, tuple(groups[0]), groups[1][0], groups[2][0])
         )
 
     def _term(self) -> Term:
-        kind, text = self._next()
+        kind, text, offset = self._next()
         if kind == "wildcard":
             return WILDCARD
         if kind == "string":
@@ -155,21 +228,28 @@ class _Parser:
             return Constant(float(text) if "." in text else int(text))
         if kind == "name":
             return Variable(text)
-        raise QuerySyntaxError(f"expected a term, found {text!r}")
+        raise self._error(f"expected a term, found {text!r}", offset)
 
     def _literal(self):
-        kind, text = self._next()
+        kind, text, offset = self._next()
         if kind == "string":
             return text[1:-1]
         if kind == "number":
             return float(text) if "." in text else int(text)
-        raise QuerySyntaxError(
-            f"comparisons require a constant right-hand side, found {text!r}"
+        raise self._error(
+            f"comparisons require a constant right-hand side, found {text!r}",
+            offset,
         )
 
 
-def parse_query(text: str) -> ConjunctiveQuery:
+def parse_query(
+    text: str, *, source: str | None = None, base_offset: int = 0
+) -> ConjunctiveQuery:
     """Parse query text into a :class:`ConjunctiveQuery`.
+
+    ``source`` and ``base_offset`` exist for embedding callers (the request
+    grammar of :mod:`repro.api.requests` parses a suffix of a larger text):
+    errors then report positions relative to ``source``.
 
     Examples
     --------
@@ -177,4 +257,4 @@ def parse_query(text: str) -> ConjunctiveQuery:
     >>> len(q.p_atoms), len(q.o_atoms)
     (1, 2)
     """
-    return _Parser(text).parse()
+    return _Parser(text, source=source, base_offset=base_offset).parse()

@@ -1,4 +1,4 @@
-"""The batch serving layer: cross-query cached evaluation of Boolean CQs.
+"""The batch serving layer: cross-query cached evaluation of preference queries.
 
 :class:`PreferenceService` is the process-level entry point for repeated
 query traffic (the ROADMAP's north star).  It owns one
@@ -13,7 +13,14 @@ and generalizes the paper's within-query identical-request grouping
   whole batch as one query-plan DAG (:mod:`repro.plan`), lets the
   optimizer's common-solve elimination merge identical solves batch-wide,
   executes the surviving frontier on a configurable backend, and only then
-  assembles per-query results with cache/timing metadata.
+  assembles per-query results with cache/timing metadata;
+* **across query kinds** — batches may mix the unified API's request
+  kinds (:mod:`repro.api.requests`: Probability, Count, TopK, attribute
+  Aggregate, as typed objects or prefixed text), and the elimination pass
+  merges solves across kinds too — a Count and a Probability of the same
+  query cost one solve.  :meth:`PreferenceService.answer_many` is the
+  typed entry point; mixed batches return
+  :class:`~repro.api.answer.BatchAnswer` envelopes.
 
 Distinct solves are an explicit, schedulable plan rather than an accident
 of per-query iteration: the optimizer annotates every solve with the cost
@@ -38,20 +45,19 @@ from typing import Iterator, Sequence
 
 import numpy as np
 
+from repro.api.answer import Answer, BatchAnswer
+from repro.api.evaluate import answer as api_answer
+from repro.api.evaluate import answer_many as api_answer_many
+from repro.api.evaluate import parallelism_requested
+from repro.api.requests import Probability, QueryRequest, as_request
 from repro.db.database import PPDatabase
 from repro.plan.build import build_plan
 from repro.plan.execute import assemble_results, execute_plan
 from repro.plan.passes import optimize_plan
 from repro.query.ast import ConjunctiveQuery
 from repro.query.engine import APPROXIMATE_METHODS, QueryResult, evaluate
-from repro.query.parser import parse_query
 from repro.service.cache import SolverCache
-from repro.service.executors import (
-    ExecutionBackend,
-    ProcessBackend,
-    SerialBackend,
-    resolve_backend,
-)
+from repro.service.executors import ExecutionBackend, resolve_backend
 from repro.service.persist import PersistentSolverCache
 
 
@@ -171,7 +177,13 @@ class PreferenceService:
 
     @staticmethod
     def _parse(query: "ConjunctiveQuery | str") -> ConjunctiveQuery:
-        return parse_query(query) if isinstance(query, str) else query
+        request = as_request(query)
+        if not isinstance(request, Probability):
+            raise TypeError(
+                f"evaluate() serves Boolean probability queries; use "
+                f"answer() / answer_many() for {request.kind!r} requests"
+            )
+        return request.query
 
     def evaluate(
         self,
@@ -181,10 +193,34 @@ class PreferenceService:
         rng: np.random.Generator | None = None,
         **overrides,
     ) -> QueryResult:
-        """One query through the shared cache (engine ``evaluate`` + cache)."""
+        """One Boolean query through the shared cache (engine ``evaluate``)."""
         options = {**self.solver_options, **overrides}
         return evaluate(
             self._parse(query),
+            db,
+            method=method or self.method,
+            rng=rng,
+            cache=self.cache,
+            **options,
+        )
+
+    def answer(
+        self,
+        request,
+        db: PPDatabase,
+        method: str | None = None,
+        rng: np.random.Generator | None = None,
+        **overrides,
+    ) -> Answer:
+        """One typed request of any kind through the shared cache.
+
+        Accepts a :class:`~repro.api.requests.QueryRequest`, a plain
+        query, or request text in the extended grammar (``COUNT ...``,
+        ``TOPK k ...``, ``AGG stat(R.col) ...``).
+        """
+        options = {**self.solver_options, **overrides}
+        return api_answer(
+            request,
             db,
             method=method or self.method,
             rng=rng,
@@ -198,7 +234,7 @@ class PreferenceService:
 
     def evaluate_many(
         self,
-        queries: Sequence["ConjunctiveQuery | str"],
+        queries: Sequence["ConjunctiveQuery | str | QueryRequest"],
         db: PPDatabase,
         method: str | None = None,
         max_workers: int | None = None,
@@ -206,50 +242,55 @@ class PreferenceService:
         rng: np.random.Generator | None = None,
         session_limit: int | None = None,
         **overrides,
-    ) -> BatchResult:
+    ) -> "BatchResult | BatchAnswer":
         """Evaluate a batch of queries with batch-wide solve deduplication.
 
-        Per-query results match sequential :func:`repro.query.engine.evaluate`
-        exactly (same aggregation, same clamping, and — through the
-        canonical ``SolveTask`` round-trip — bit-identical probabilities on
-        every backend); the batch metadata reports how much work the
-        grouping and the cache saved.  The whole batch is planned as one
-        query-plan DAG (:mod:`repro.plan`): the optimizer's common-solve
-        elimination merges identical solves across sessions and queries,
-        annotates the survivors with state-count estimates, LPT-orders the
-        frontier, and the executor runs it on the configured backend.
-        Sampling methods (``mis_amp_*``,
-        ``rejection``) are rng-driven and non-cacheable, so they fall back
-        to sequential evaluation (a parallelism request is then warned
-        about, not silently ignored) — each solve still draws and weighs
-        its samples through the vectorized kernel layer
-        (:mod:`repro.kernels`) unless ``vectorized=False`` is passed as a
-        solver option.
+        ``queries`` accepts plain Boolean CQs (objects or text) and any
+        typed request of the unified API (:mod:`repro.api.requests`) —
+        objects or prefixed text (``COUNT ...``, ``TOPK k ...``,
+        ``AGG stat(R.col) ...``), freely mixed.  A purely Boolean batch
+        returns the historical :class:`BatchResult` of
+        :class:`~repro.query.engine.QueryResult` objects, bit-identical to
+        sequential :func:`repro.query.engine.evaluate`; a batch containing
+        any other kind returns a :class:`~repro.api.answer.BatchAnswer` of
+        :class:`~repro.api.answer.Answer` envelopes.  Either way the whole
+        batch is planned as one query-plan DAG (:mod:`repro.plan`): the
+        optimizer's common-solve elimination merges identical solves
+        across sessions, queries, *and kinds* — a Count and a Probability
+        of the same query share every solve — the survivors are
+        LPT-ordered, and the executor runs them on the configured backend.
+        Sampling methods (``mis_amp_*``, ``rejection``) are rng-driven and
+        non-cacheable, so they fall back to sequential evaluation (a
+        parallelism request is then warned about, not silently ignored) —
+        each solve still draws and weighs its samples through the
+        vectorized kernel layer (:mod:`repro.kernels`) unless
+        ``vectorized=False`` is passed as a solver option.
         """
         started = time.perf_counter()
         method = method or self.method
         options = {**self.solver_options, **overrides}
-        parsed = [self._parse(query) for query in queries]
+        requests = [as_request(query) for query in queries]
+        if any(not isinstance(request, Probability) for request in requests):
+            return self.answer_many(
+                requests,
+                db,
+                method=method,
+                max_workers=max_workers,
+                backend=backend,
+                rng=rng,
+                session_limit=session_limit,
+                **overrides,
+            )
+        parsed = [request.query for request in requests]
 
         if method in APPROXIMATE_METHODS:
             requested_workers = (
                 max_workers if max_workers is not None else self.max_workers
             )
-
-            def _is_serial(spec) -> bool:
-                return spec == "serial" or isinstance(spec, SerialBackend)
-
             effective_backend = backend if backend is not None else self.backend
-            parallelism_requested = (
-                # An explicit per-call backend that isn't serial...
-                (backend is not None and not _is_serial(backend))
-                # ...a process-configured service (e.g. --backend process)...
-                or effective_backend == "process"
-                or isinstance(effective_backend, ProcessBackend)
-                # ...or an explicit worker-pool size.
-                or (requested_workers is not None and requested_workers > 1)
-            )
-            if parallelism_requested:
+            if parallelism_requested(
+                backend, effective_backend, requested_workers
+            ):
                 warnings.warn(
                     f"approximate method {method!r} is rng-driven and runs "
                     f"sequentially; the requested parallelism "
@@ -311,4 +352,44 @@ class PreferenceService:
             cache_stats=self.stats(),
             backend=execution_backend.name,
         )
+
+    def answer_many(
+        self,
+        requests: Sequence["QueryRequest | ConjunctiveQuery | str"],
+        db: PPDatabase,
+        method: str | None = None,
+        max_workers: int | None = None,
+        backend: "str | ExecutionBackend | None" = None,
+        rng: np.random.Generator | None = None,
+        session_limit: int | None = None,
+        **overrides,
+    ) -> BatchAnswer:
+        """A mixed-kind batch through the shared cache and backend.
+
+        The typed-request twin of :meth:`evaluate_many`: any mix of
+        Probability / Count / TopK / Aggregate requests (objects or
+        prefixed text) planned as one DAG, with common-solve elimination
+        across kinds and the distinct solves on the configured backend.
+        Returns a :class:`~repro.api.answer.BatchAnswer`.
+        """
+        options = {**self.solver_options, **overrides}
+        batch = api_answer_many(
+            [as_request(request) for request in requests],
+            db,
+            method=method or self.method,
+            rng=rng,
+            cache=self.cache,
+            # Explicit and configured backends stay distinct so the
+            # ignored-parallelism warning matches the Boolean path.
+            backend=backend,
+            default_backend=self.backend,
+            max_workers=(
+                max_workers if max_workers is not None else self.max_workers
+            ),
+            session_limit=session_limit,
+            **options,
+        )
+        # Merge the persistent-tier counters the way stats() does.
+        batch.cache_stats = self.stats()
+        return batch
 

@@ -1,0 +1,645 @@
+"""Tests for the unified query API (repro.api): grammar, routing, answers,
+mixed-kind batch dedup, deprecation-shim bit-identity, and explain."""
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    Aggregate,
+    Answer,
+    BatchAnswer,
+    Count,
+    Probability,
+    TopK,
+    answer,
+    answer_many,
+    as_request,
+    parse_request,
+)
+from repro.datasets.crowdrank import crowdrank_database
+from repro.db.examples import polling_example
+from repro.plan import build_plan, optimize_plan
+from repro.plan.execute import execute_plan
+from repro.query.aggregates import (
+    aggregate_session_attribute,
+    count_session,
+    most_probable_session,
+)
+from repro.query.ast import ConjunctiveQuery
+from repro.query.engine import evaluate
+from repro.query.parser import QuerySyntaxError, parse_query
+from repro.service.service import BatchResult, PreferenceService
+
+POLLS_Q = "P(_, _; c1; c2), C(c1, 'D', _, _, e, _), C(c2, 'R', _, _, e, _)"
+CROWD_Q = "P(v; m1; m2), M(m1, _, 'F', _, _), M(m2, 'Thriller', _, _, _)"
+
+
+@pytest.fixture
+def polls_db():
+    return polling_example()
+
+
+@pytest.fixture(scope="module")
+def crowd_db():
+    return crowdrank_database(n_workers=20, n_movies=6, seed=7)
+
+
+# ----------------------------------------------------------------------
+# The extended request grammar
+# ----------------------------------------------------------------------
+
+
+class TestParseRequest:
+    def test_plain_text_is_probability(self):
+        request = parse_request(POLLS_Q)
+        assert isinstance(request, Probability)
+        assert request.kind == "probability"
+        assert len(request.query.p_atoms) == 1
+
+    def test_count_prefix(self):
+        request = parse_request(f"COUNT {POLLS_Q}")
+        assert isinstance(request, Count)
+        assert request.query == parse_query(POLLS_Q)
+
+    def test_topk_prefix(self):
+        request = parse_request(f"TOPK 3 {POLLS_Q}")
+        assert isinstance(request, TopK)
+        assert request.k == 3
+        assert request.strategy == "upper_bound"
+
+    def test_agg_prefix(self):
+        request = parse_request(f"AGG mean(V.age) {POLLS_Q}")
+        assert isinstance(request, Aggregate)
+        assert (request.relation, request.column) == ("V", "age")
+        assert request.statistic == "mean"
+
+    def test_agg_sum_statistic(self):
+        request = parse_request(f"AGG sum(V.age) {POLLS_Q}")
+        assert request.statistic == "sum"
+
+    def test_prefixes_are_case_insensitive(self):
+        assert parse_request(f"count {POLLS_Q}").kind == "count"
+        assert parse_request(f"topk 2 {POLLS_Q}").kind == "top_k"
+        assert parse_request(f"agg mean(V.age) {POLLS_Q}").kind == "aggregate"
+
+    def test_relation_named_count_is_not_a_prefix(self):
+        # A keyword directly followed by '(' is an atom, not a prefix.
+        request = parse_request("P(_, _; a; b), COUNT(a, 'x')")
+        assert isinstance(request, Probability)
+        assert request.query.o_atoms[0].relation == "COUNT"
+
+    def test_keyword_named_variable_in_leading_comparison(self):
+        # A previously valid plain query whose first conjunct compares a
+        # variable named like a prefix keyword must keep parsing plain.
+        for keyword in ("count", "topk", "agg", "COUNT"):
+            text = f"{keyword} > 3, P(v, {keyword}; a; b)"
+            assert parse_query(text) is not None  # the old grammar accepts it
+            request = parse_request(text)
+            assert isinstance(request, Probability)
+            assert request.query == parse_query(text)
+
+    def test_prefix_errors_survive_the_plain_fallback(self):
+        # When neither the prefix nor the plain reading parses, the prefix
+        # error (the informative one) is what surfaces.
+        with pytest.raises(QuerySyntaxError, match="integer k"):
+            parse_request("TOPK x P(_, _; a; b)")
+        with pytest.raises(QuerySyntaxError, match=r"found '\)'"):
+            parse_request("COUNT P(_; a; )")
+
+    def test_topk_requires_integer_k(self):
+        with pytest.raises(QuerySyntaxError, match="integer k"):
+            parse_request(f"TOPK x {POLLS_Q}")
+
+    def test_agg_requires_spec(self):
+        with pytest.raises(QuerySyntaxError, match="statistic"):
+            parse_request(f"AGG mean(Vage) {POLLS_Q}")
+
+    def test_agg_rejects_unknown_statistic(self):
+        with pytest.raises(QuerySyntaxError, match="median"):
+            parse_request(f"AGG median(V.age) {POLLS_Q}")
+
+    def test_as_request_normalizes_all_forms(self):
+        query = parse_query(POLLS_Q)
+        assert isinstance(as_request(query), Probability)
+        assert as_request(Count(query)).kind == "count"
+        assert as_request(f"COUNT {POLLS_Q}").kind == "count"
+        with pytest.raises(TypeError):
+            as_request(42)
+
+    def test_requests_accept_query_text(self):
+        assert Count(POLLS_Q).query == parse_query(POLLS_Q)
+        assert TopK(POLLS_Q, k=2).k == 2
+
+    def test_request_validation(self):
+        with pytest.raises(ValueError, match="at least 1"):
+            TopK(POLLS_Q, k=0)
+        with pytest.raises(ValueError, match="strategy"):
+            TopK(POLLS_Q, strategy="magic")
+        with pytest.raises(ValueError, match="statistic"):
+            Aggregate(POLLS_Q, relation="V", column="age", statistic="median")
+        with pytest.raises(ValueError, match="relation"):
+            Aggregate(POLLS_Q)
+
+    def test_describe_round_trips_the_prefix(self):
+        assert parse_request(f"COUNT {POLLS_Q}").describe().startswith("COUNT ")
+        assert parse_request(f"TOPK 3 {POLLS_Q}").describe().startswith("TOPK 3 ")
+        assert (
+            parse_request(f"AGG sum(V.age) {POLLS_Q}")
+            .describe()
+            .startswith("AGG sum(V.age) ")
+        )
+
+
+class TestParserPositions:
+    """The QuerySyntaxError position/caret satellite (old + prefixed)."""
+
+    def test_offset_and_caret_on_plain_grammar(self):
+        with pytest.raises(QuerySyntaxError) as info:
+            parse_query("P(_; a; )")
+        error = info.value
+        assert error.offset == 8
+        assert "(at offset 8)" in str(error)
+        lines = str(error).splitlines()
+        assert lines[1].strip() == "P(_; a; )"
+        # The caret column matches the offending token's column.
+        assert lines[2].index("^") - lines[1].index("P") == 8
+
+    def test_unexpected_character_offset(self):
+        with pytest.raises(QuerySyntaxError) as info:
+            parse_query("P(_, _; a; b) %")
+        assert info.value.offset == 14
+
+    def test_prefixed_offsets_are_relative_to_full_text(self):
+        text = f"COUNT P(_; a; )"
+        with pytest.raises(QuerySyntaxError) as info:
+            parse_request(text)
+        error = info.value
+        assert error.offset == text.index("; )") + 2
+        # The excerpt shows the *full* request text, prefix included.
+        assert "COUNT P(_; a; )" in str(error)
+
+    def test_long_sources_are_windowed(self):
+        text = "P(_, _; " + "a" * 200 + "; b) %"
+        with pytest.raises(QuerySyntaxError) as info:
+            parse_query(text)
+        rendered = str(info.value)
+        assert "..." in rendered
+        excerpt = rendered.splitlines()[1]
+        assert len(excerpt.strip()) < 80
+        # The caret still points inside the excerpt.
+        assert "^" in rendered.splitlines()[2]
+
+    def test_errors_remain_value_errors(self):
+        with pytest.raises(ValueError):
+            parse_query("P(")
+
+
+# ----------------------------------------------------------------------
+# Single-request answers
+# ----------------------------------------------------------------------
+
+
+class TestAnswer:
+    def test_probability_answer_matches_evaluate(self, polls_db):
+        result = evaluate(parse_query(POLLS_Q), polls_db)
+        one = answer(POLLS_Q, polls_db)
+        assert isinstance(one, Answer)
+        assert one.kind == "probability"
+        assert one.probability == result.probability
+        assert one.value == result.probability
+        assert [e.probability for e in one.per_session] == [
+            e.probability for e in result.per_session
+        ]
+        assert one.to_legacy().probability == result.probability
+
+    def test_methods_are_resolved_not_requested(self, polls_db):
+        one = answer(POLLS_Q, polls_db)
+        assert one.requested_method == "auto"
+        assert one.methods and "auto" not in one.methods
+        solvers = {e.solver for e in evaluate(parse_query(POLLS_Q), polls_db).per_session}
+        assert set(one.methods) == solvers
+
+    def test_count_answer(self, polls_db):
+        one = answer(f"COUNT {POLLS_Q}", polls_db)
+        result = evaluate(parse_query(POLLS_Q), polls_db)
+        assert one.kind == "count"
+        assert one.expectation == pytest.approx(
+            sum(e.probability for e in result.per_session)
+        )
+        legacy = one.to_legacy()
+        assert legacy.expectation == one.value
+        assert legacy.method == "auto"
+        assert legacy.resolved_methods == one.methods
+
+    def test_topk_answer(self, polls_db):
+        one = answer(f"TOPK 2 {POLLS_Q}", polls_db)
+        assert one.kind == "top_k"
+        assert len(one.ranking) == 2
+        legacy = one.to_legacy()
+        assert legacy.sessions == one.value
+        assert legacy.k == 2
+        # The paper's pruning bookkeeping survives in the answer stats.
+        assert one.stats["n_upper_bound_evaluations"] == 3
+
+    def test_aggregate_answer(self, polls_db):
+        one = answer(
+            f"AGG mean(V.age) {POLLS_Q}", polls_db,
+            rng=np.random.default_rng(0),
+        )
+        assert one.kind == "aggregate"
+        legacy = one.to_legacy()
+        assert one.value == legacy.expectation
+        assert one.stats["probability_any"] == legacy.probability_any
+        assert 20.0 <= one.value <= 50.0  # ages in the polls example
+
+    def test_kind_checked_accessors(self, polls_db):
+        one = answer(f"COUNT {POLLS_Q}", polls_db)
+        with pytest.raises(ValueError, match="accessor"):
+            one.probability
+        with pytest.raises(ValueError, match="accessor"):
+            one.ranking
+        assert one.expectation == one.value
+
+    def test_programmatic_requests(self, polls_db):
+        query = parse_query(POLLS_Q)
+        assert answer(Probability(query), polls_db).kind == "probability"
+        assert answer(Count(query), polls_db).kind == "count"
+        topk = answer(TopK(query, k=1, strategy="naive"), polls_db)
+        assert topk.to_legacy().strategy == "naive"
+        assert topk.to_legacy().n_upper_bound_evaluations == 0
+        assert topk.to_legacy().stats == {}
+
+    def test_aggregate_missing_row_raises_key_error(self, polls_db):
+        with pytest.raises(KeyError):
+            answer(f"AGG mean(C.age) {POLLS_Q}", polls_db)
+
+
+# ----------------------------------------------------------------------
+# Deprecation-shim bit-identity
+# ----------------------------------------------------------------------
+
+
+class TestShimBitIdentity:
+    """The four legacy entry points delegate without changing a bit."""
+
+    def test_count_session_is_evaluate_sum(self, crowd_db):
+        q = parse_query(CROWD_Q)
+        count = count_session(q, crowd_db)
+        result = evaluate(q, crowd_db)
+        assert count.expectation == float(
+            sum(e.probability for e in result.per_session)
+        )
+        assert count.per_session == [
+            (e.key, e.probability) for e in result.per_session
+        ]
+        assert count.method == "auto"
+        assert count.resolved_methods == tuple(
+            sorted(
+                {
+                    e.solver
+                    for e in result.per_session
+                    if e.solver != "unsatisfiable"
+                }
+            )
+        )
+
+    def test_topk_matches_reference_loop(self, crowd_db):
+        """most_probable_session == the pre-redesign algorithm, verbatim."""
+        from repro.plan.execute import session_upper_bound
+        from repro.query.classify import analyze
+        from repro.query.compile import labeling_for_patterns
+        from repro.query.engine import compile_session_work, solve_session
+
+        q = parse_query(CROWD_Q)
+        analysis = analyze(q, crowd_db)
+        items = crowd_db.prelation(analysis.p_relation).items
+        works = compile_session_work(q, crowd_db, analysis=analysis)
+        labelings = {}
+
+        def labeling_of(union):
+            if union not in labelings:
+                labelings[union] = labeling_for_patterns(
+                    union.patterns, items, crowd_db
+                )
+            return labelings[union]
+
+        def exact(work):
+            if work.union is None:
+                return 0.0
+            probability, _ = solve_session(
+                work.model, labeling_of(work.union), work.union
+            )
+            return probability
+
+        for k in (1, 3):
+            naive = most_probable_session(q, crowd_db, k=k, strategy="naive")
+            scored = [(w.key, exact(w)) for w in works]
+            scored.sort(key=lambda pair: (-pair[1], repr(pair[0])))
+            assert naive.sessions == scored[:k]
+            assert naive.n_exact_evaluations == len(works)
+
+            pruned = most_probable_session(
+                q, crowd_db, k=k, strategy="upper_bound"
+            )
+            bounded = [
+                (
+                    0.0
+                    if w.union is None
+                    else session_upper_bound(
+                        w.model, labeling_of(w.union), w.union, 1
+                    ),
+                    w,
+                )
+                for w in works
+            ]
+            bounded.sort(key=lambda pair: (-pair[0], repr(pair[1].key)))
+            confirmed, n_exact = [], 0
+            for bound, work in bounded:
+                if len(confirmed) >= k:
+                    kth = sorted((p for _, p in confirmed), reverse=True)[k - 1]
+                    if kth >= bound:
+                        break
+                confirmed.append((work.key, exact(work)))
+                n_exact += 1
+            confirmed.sort(key=lambda pair: (-pair[1], repr(pair[0])))
+            assert pruned.sessions == confirmed[:k]
+            assert pruned.n_exact_evaluations == n_exact
+            assert pruned.n_upper_bound_evaluations == len(works)
+            assert pruned.stats == {"n_sessions": len(works), "n_edges": 1}
+
+    def test_topk_prunes_lazy_solves(self, crowd_db):
+        pruned = most_probable_session(
+            parse_query(CROWD_Q), crowd_db, k=1, strategy="upper_bound"
+        )
+        assert pruned.n_exact_evaluations < pruned.n_upper_bound_evaluations
+
+    def test_rng_topk_stream_is_unchanged(self, crowd_db):
+        """Approximate top-k draws one stream per session, as before."""
+        q = parse_query(CROWD_Q)
+        first = most_probable_session(
+            q, crowd_db, k=2, strategy="upper_bound",
+            method="rejection", rng=np.random.default_rng(5), n_samples=200,
+        )
+        second = most_probable_session(
+            q, crowd_db, k=2, strategy="upper_bound",
+            method="rejection", rng=np.random.default_rng(5), n_samples=200,
+        )
+        assert first.sessions == second.sessions
+
+    def test_aggregate_default_rng_is_stable(self, crowd_db):
+        q = parse_query(CROWD_Q)
+        first = aggregate_session_attribute(q, crowd_db, "V", "age")
+        second = aggregate_session_attribute(q, crowd_db, "V", "age")
+        assert first.expectation == second.expectation
+        assert first.probability_any == second.probability_any
+        assert first.n_worlds == 10_000
+
+    def test_evaluate_stays_a_query_result(self, polls_db):
+        result = evaluate(parse_query(POLLS_Q), polls_db)
+        assert result.method == "auto"
+        assert result.stats == {}
+        assert result.grouped is True
+
+
+# ----------------------------------------------------------------------
+# Mixed-kind batches
+# ----------------------------------------------------------------------
+
+
+class TestMixedBatches:
+    def test_mixed_kinds_share_solves(self, crowd_db):
+        """Count + Probability of the same query cost one set of solves."""
+        prob_only = PreferenceService().evaluate_many([CROWD_Q], crowd_db)
+        count_only = PreferenceService().evaluate_many(
+            [f"COUNT {CROWD_Q}"], crowd_db
+        )
+        mixed = PreferenceService().evaluate_many(
+            [CROWD_Q, f"COUNT {CROWD_Q}"], crowd_db
+        )
+        assert isinstance(prob_only, BatchResult)
+        assert isinstance(mixed, BatchAnswer)
+        assert mixed.n_distinct_solves == prob_only.n_distinct_solves
+        assert mixed.n_distinct_solves == count_only.n_distinct_solves
+
+    def test_mixed_batch_values_match_single_requests(self, crowd_db):
+        service = PreferenceService()
+        mixed = service.evaluate_many(
+            [
+                CROWD_Q,
+                f"COUNT {CROWD_Q}",
+                f"TOPK 2 {CROWD_Q}",
+                f"AGG mean(V.age) {CROWD_Q}",
+            ],
+            crowd_db,
+        )
+        assert [one.kind for one in mixed] == [
+            "probability", "count", "top_k", "aggregate",
+        ]
+        sequential = evaluate(parse_query(CROWD_Q), crowd_db)
+        assert mixed[0].value == sequential.probability
+        assert mixed[1].value == pytest.approx(
+            sum(e.probability for e in sequential.per_session)
+        )
+        solo_topk = most_probable_session(
+            parse_query(CROWD_Q), crowd_db, k=2
+        )
+        assert mixed[2].value == solo_topk.sessions
+        solo_aggregate = aggregate_session_attribute(
+            parse_query(CROWD_Q), crowd_db, "V", "age"
+        )
+        assert mixed[3].value == solo_aggregate.expectation
+
+    def test_warm_mixed_batch_is_all_cache_hits(self, crowd_db):
+        service = PreferenceService()
+        requests = [CROWD_Q, f"COUNT {CROWD_Q}"]
+        service.evaluate_many(requests, crowd_db)
+        warm = service.evaluate_many(requests, crowd_db)
+        assert warm.n_distinct_solves == 0
+        assert warm.n_cache_hits > 0
+
+    def test_answer_many_without_service(self, polls_db):
+        batch = answer_many(
+            [POLLS_Q, f"COUNT {POLLS_Q}", f"TOPK 1 {POLLS_Q}"], polls_db
+        )
+        assert isinstance(batch, BatchAnswer)
+        assert batch.n_requests == 3
+        assert len(batch.values) == 3
+        assert batch.backend == "serial"
+
+    def test_pure_boolean_batch_is_bit_identical(self, crowd_db):
+        """The historical BatchResult path survives the redesign."""
+        service = PreferenceService()
+        batch = service.evaluate_many([CROWD_Q, CROWD_Q], crowd_db)
+        assert isinstance(batch, BatchResult)
+        sequential = evaluate(parse_query(CROWD_Q), crowd_db)
+        for result in batch:
+            assert result.probability == sequential.probability
+            assert [(e.key, e.probability, e.solver) for e in result.per_session] == [
+                (e.key, e.probability, e.solver)
+                for e in sequential.per_session
+            ]
+
+    def test_service_evaluate_rejects_non_boolean(self, polls_db):
+        with pytest.raises(TypeError, match="answer"):
+            PreferenceService().evaluate(f"COUNT {POLLS_Q}", polls_db)
+
+    def test_approximate_mixed_batch_runs_sequentially(self, polls_db):
+        batch = answer_many(
+            [POLLS_Q, f"COUNT {POLLS_Q}"],
+            polls_db,
+            method="rejection",
+            rng=np.random.default_rng(0),
+            n_samples=200,
+        )
+        assert batch.backend == "serial"
+        assert batch.n_cache_hits == 0
+        assert 0.0 <= batch[0].value <= 1.0
+
+    def test_approximate_process_parallelism_warns(self, polls_db):
+        with pytest.warns(UserWarning, match="rng-driven"):
+            answer_many(
+                [POLLS_Q],
+                polls_db,
+                method="rejection",
+                rng=np.random.default_rng(0),
+                backend="process",
+                n_samples=100,
+            )
+
+
+# ----------------------------------------------------------------------
+# Explain over aggregate plans
+# ----------------------------------------------------------------------
+
+
+EXPLAIN_GOLDEN = """\
+== query plan: 2 queries, method=auto, group_sessions=on ==
+q0: COUNT Q() <- P(_, _; 'Trump'; 'Clinton')
+  SelectSessions[P]  sessions 3 -> 3
+  GroundSessions  satisfiable=3 unsatisfiable=0
+  CompileUnion #2  z=1 sessions=3
+  Solve #3  method=two_label cost~1.6e+01 sessions=2  shared_by=q0,q1
+  Solve #4  method=two_label cost~1.6e+01 sessions=2  shared_by=q0,q1
+  Solve #5  method=two_label cost~1.6e+01 sessions=2  shared_by=q0,q1
+  CountSessions  E[count(Q)] = sum(p_s) over 3 sessions
+q1: TOPK 2 Q() <- P(_, _; 'Trump'; 'Clinton')
+  SelectSessions[P]  sessions 3 -> 3
+  GroundSessions  satisfiable=3 unsatisfiable=0
+  CompileUnion #9  z=1 sessions=3
+  Solve #3  (shared; see above)
+  Solve #4  (shared; see above)
+  Solve #5  (shared; see above)
+  TopKSessions  k=2 strategy=upper_bound n_edges=1 over 3 sessions
+CombineQueries  2 queries
+passes: simplify_unions, resolve_methods, annotate_costs, eliminate_common_solves, order_solves
+solves: planned=6 eliminated=3 frontier=3"""
+
+
+class TestAggregateExplain:
+    def test_mixed_kind_explain_golden(self, polls_db):
+        plan = build_plan(
+            [
+                "COUNT P(_, _; 'Trump'; 'Clinton')",
+                "TOPK 2 P(_, _; 'Trump'; 'Clinton')",
+            ],
+            polls_db,
+        )
+        optimize_plan(plan, canonical=True)
+        assert plan.explain() == EXPLAIN_GOLDEN
+
+    def test_aggregate_terminal_renders(self, polls_db):
+        plan = build_plan(
+            f"AGG mean(V.age) {POLLS_Q}", polls_db
+        )
+        optimize_plan(plan, canonical=True)
+        text = plan.explain()
+        assert "AttributeAggregate  E[mean(V.age) | count(Q) > 0]" in text
+        assert "n_worlds=10000" in text
+
+    def test_executed_topk_reports_pruning(self, crowd_db):
+        plan = build_plan(f"TOPK 1 {CROWD_Q}", crowd_db)
+        optimize_plan(plan, canonical=True)
+        execution = execute_plan(plan)
+        text = plan.explain(execution)
+        assert "[exact=" in text
+        assert "[pruned]" in text  # lazy solves the bound pruning skipped
+
+    def test_boolean_assembly_rejects_pruned_topk_plans(self, crowd_db):
+        # assemble_results folds terminals into QueryResults; a plan whose
+        # top-k pruning skipped solves must fail loudly, not KeyError.
+        from repro.plan.execute import assemble_results
+
+        plan = build_plan(f"TOPK 1 {CROWD_Q}", crowd_db)
+        optimize_plan(plan, canonical=True)
+        execution = execute_plan(plan)
+        with pytest.raises(ValueError, match="assemble_answers"):
+            assemble_results(plan, execution)
+
+
+# ----------------------------------------------------------------------
+# The query CLI
+# ----------------------------------------------------------------------
+
+
+class TestQueryCli:
+    def test_query_cli_probability(self, capsys):
+        from repro.__main__ import main
+
+        assert main(
+            ["query", "P('Ann', '5/5'; 'Trump'; 'Clinton')",
+             "--dataset", "polls"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "kind: probability" in out
+        assert "Pr(Q | D)" in out
+        assert "resolved_methods=[two_label]" in out
+
+    def test_query_cli_count_topk_agg(self, capsys):
+        from repro.__main__ import main
+
+        base = ["--sessions", "12", "--movies", "6"]
+        assert main(
+            ["query", "COUNT P(v; m1; m2), M(m1, 'Comedy', _, _, _)"] + base
+        ) == 0
+        assert "E[count(Q)]" in capsys.readouterr().out
+        assert main(
+            ["query", "TOPK 2 P(v; m1; m2), M(m1, _, 'F', _, _)"] + base
+        ) == 0
+        out = capsys.readouterr().out
+        assert "top-2 sessions" in out and "rank" in out
+        assert main(
+            ["query", "AGG mean(V.age) P(v; m1; m2), M(m1, 'Comedy', _, _, _)"]
+            + base
+        ) == 0
+        assert "probability_any" in capsys.readouterr().out
+
+    def test_query_cli_rejects_bad_text(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["query", "TOPK x P(v; m1; m2)"]) == 2
+        assert "cannot evaluate query" in capsys.readouterr().err
+
+    def test_query_cli_rejects_unknown_method(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["query", POLLS_Q, "--method", "magic"]) == 2
+        assert "unknown method" in capsys.readouterr().err
+
+    def test_explain_cli_accepts_prefixed_requests(self, capsys):
+        from repro.__main__ import main
+
+        assert main(
+            ["explain", f"COUNT {POLLS_Q}", "--dataset", "polls"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "CountSessions" in out
+
+    def test_explain_cli_reports_missing_aggregate_relation(self, capsys):
+        # The AGG attribute join runs at plan-build time; a bad relation
+        # must produce the diagnostic, not a traceback.
+        from repro.__main__ import main
+
+        assert main(
+            ["explain", f"AGG mean(Nope.age) {POLLS_Q}", "--dataset", "polls"]
+        ) == 2
+        assert "cannot plan query" in capsys.readouterr().err

@@ -1,0 +1,29 @@
+"""Smoke test: every example script runs end to end.
+
+The examples are documentation-grade entry points (``python -m repro demo``
+even ships one); running them in-process catches API drift the moment an
+entry point they use changes shape.  Each script is executed via ``runpy``
+with stdout captured; the assertion is deliberately light — no exception,
+non-trivial output — so the examples stay free to evolve their narrative.
+"""
+
+import runpy
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[1] / "examples"
+SCRIPTS = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_directory_is_populated():
+    assert len(SCRIPTS) == 4, [script.name for script in SCRIPTS]
+
+
+@pytest.mark.parametrize(
+    "script", SCRIPTS, ids=[script.stem for script in SCRIPTS]
+)
+def test_example_runs(script, capsys):
+    runpy.run_path(str(script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert len(out.splitlines()) >= 3, f"{script.name} printed almost nothing"
