@@ -9,6 +9,7 @@ Usage::
     python -m repro batch                # batch serving + solver cache demo
     python -m repro explain "<query>"    # cost-annotated query plan
     python -m repro query "<request>"    # one-shot evaluation of any kind
+    python -m repro serve                # coalescing HTTP/JSON front-end
 
 The ``query`` and ``explain`` commands accept the unified request grammar
 (:mod:`repro.api.requests`): plain CQ text evaluates the Boolean
@@ -463,6 +464,10 @@ def main(argv: list[str] | None = None) -> int:
     )
     query_parser.add_argument("--seed", type=int, default=7)
 
+    from repro.server.cli import add_serve_parser
+
+    add_serve_parser(subparsers)
+
     args = parser.parse_args(argv)
     if args.command == "list":
         for name in sorted(EXPERIMENTS):
@@ -478,6 +483,10 @@ def main(argv: list[str] | None = None) -> int:
         return run_explain(args)
     if args.command == "query":
         return run_query(args)
+    if args.command == "serve":
+        from repro.server.cli import run_serve
+
+        return run_serve(args)
     if args.command == "demo":
         # The examples directory is not an installed package; run the
         # quickstart by path so `python -m repro demo` works from a clone.

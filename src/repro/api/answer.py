@@ -107,6 +107,12 @@ class BatchAnswer:
     seconds: float
     cache_stats: dict = field(default_factory=dict)
     backend: str = ""
+    #: Per-session solves the plan contained before optimization, and how
+    #: many of them the optimizer's common-solve elimination merged away —
+    #: the live-traffic payoff the serving layer's coalescer reports per
+    #: window (``/stats``).  Zero on the sequential approximate route.
+    n_solves_planned: int = 0
+    n_solves_eliminated: int = 0
 
     @property
     def values(self) -> list:

@@ -205,6 +205,8 @@ def answer_many(
         seconds=time.perf_counter() - started,
         cache_stats=cache.stats().as_dict() if cache is not None else {},
         backend=execution_backend.name,
+        n_solves_planned=plan.n_solves_planned,
+        n_solves_eliminated=plan.n_solves_eliminated,
     )
 
 

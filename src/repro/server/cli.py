@@ -1,0 +1,151 @@
+"""``python -m repro serve`` — run the coalescing HTTP front-end.
+
+Example::
+
+    python -m repro serve --port 8642 --sessions 100 --window-ms 10
+    curl -s -X POST http://127.0.0.1:8642/answer \\
+        -d '{"request": "COUNT P(v; m1; m2), M(m1, 'Comedy', _, _, _)"}'
+    curl -s http://127.0.0.1:8642/stats
+    curl -s -X POST http://127.0.0.1:8642/shutdown
+
+``--port 0`` binds an ephemeral port; the bound address is printed (and
+flushed) as the first output line, so scripted callers — the CI smoke,
+the benchmark — can parse it.  SIGINT/SIGTERM trigger the same graceful
+drain as ``POST /shutdown``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import signal
+import sys
+
+
+def add_serve_parser(subparsers) -> None:
+    """Register the ``serve`` subcommand on the ``python -m repro`` parser."""
+    parser = subparsers.add_parser(
+        "serve",
+        help="run the asyncio HTTP front-end with request coalescing",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument(
+        "--port", type=int, default=8642,
+        help="listening port (0 = ephemeral; the bound address is printed)",
+    )
+    parser.add_argument(
+        "--dataset", choices=("crowdrank", "polls"), default="crowdrank",
+        help="database to serve (default: a seeded CrowdRank)",
+    )
+    parser.add_argument(
+        "--sessions", type=int, default=50, help="CrowdRank sessions"
+    )
+    parser.add_argument(
+        "--movies", type=int, default=8, help="CrowdRank catalog size"
+    )
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--method", default="auto",
+        help="default solver method (requests may override per call)",
+    )
+    parser.add_argument(
+        "--backend", choices=("serial", "thread", "process"),
+        default="thread",
+        help="execution backend for each batch's distinct solves",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=None,
+        help="worker-pool size for distinct solves "
+        "(default: min(8, cpu_count); 1 = serial)",
+    )
+    parser.add_argument(
+        "--window-ms", type=float, default=10.0, metavar="MS",
+        help="coalescing window in milliseconds (0 = request-at-a-time)",
+    )
+    parser.add_argument(
+        "--max-batch", type=int, default=64,
+        help="flush a window early at this many coalesced requests",
+    )
+    parser.add_argument(
+        "--max-pending-per-client", type=int, default=32,
+        help="admission bound per client (429 + Retry-After on overflow)",
+    )
+    parser.add_argument(
+        "--max-pending-total", type=int, default=256,
+        help="server-wide admission bound",
+    )
+    parser.add_argument(
+        "--capacity", type=int, default=4096, help="solver-cache capacity"
+    )
+    parser.add_argument(
+        "--cache-db", default=None, metavar="PATH",
+        help="SQLite file for the persistent cache tier",
+    )
+    parser.add_argument(
+        "--approx-budget", type=float, default=None, metavar="STATES",
+        help="state-count budget, required when --method auto-approx",
+    )
+
+
+def config_from_args(args):
+    """Build the :class:`~repro.server.config.ServerConfig` of the flags."""
+    from repro.server.config import ServerConfig
+
+    solver_options = {}
+    if args.approx_budget is not None:
+        solver_options["approx_budget"] = args.approx_budget
+    return ServerConfig(
+        host=args.host,
+        port=args.port,
+        dataset=args.dataset,
+        sessions=args.sessions,
+        movies=args.movies,
+        seed=args.seed,
+        method=args.method,
+        backend=args.backend,
+        max_workers=args.workers,
+        cache_capacity=args.capacity,
+        cache_db=args.cache_db,
+        solver_options=solver_options,
+        window_seconds=args.window_ms / 1000.0,
+        max_batch=args.max_batch,
+        max_pending_per_client=args.max_pending_per_client,
+        max_pending_total=args.max_pending_total,
+    )
+
+
+def run_serve(args) -> int:
+    """Entry point of the ``serve`` subcommand."""
+    from repro.server.app import ServerApp
+    from repro.server.http import run_server
+
+    try:
+        config = config_from_args(args)
+        app = ServerApp(config)
+    except ValueError as error:
+        print(f"cannot start server: {error}", file=sys.stderr)
+        return 2
+
+    def ready(server):
+        print(f"serving on {server.address}", flush=True)
+        print(
+            f"dataset={config.dataset} sessions={config.sessions} "
+            f"method={config.method} backend={config.backend} "
+            f"window={config.window_seconds * 1000:g}ms "
+            f"max_batch={config.max_batch}",
+            flush=True,
+        )
+
+    async def main():
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(
+                    signum, app.shutdown_requested.set
+                )
+            except NotImplementedError:  # platforms without signal support
+                pass
+        await run_server(config, ready=ready, app=app)
+
+    asyncio.run(main())
+    print("server drained and stopped", flush=True)
+    return 0

@@ -1,0 +1,247 @@
+"""The time-windowed request coalescer: live traffic -> planned batches.
+
+The planner's common-solve elimination (DESIGN.md Section 9; 51.9x fewer
+distinct solves on an overlapping 50-query workload per
+``BENCH_planner.json``) only pays off when queries are planned *together*.
+Offline, ``answer_many`` batches arrive pre-assembled; online, requests
+arrive one at a time.  The coalescer closes that gap: the first request
+opens a **window**, concurrent requests arriving within ``window_seconds``
+join it, and the whole window is planned and executed as one
+:meth:`~repro.service.service.PreferenceService.answer_many` batch — so
+mixed-kind dedup and cross-query elimination run on live traffic.
+
+Semantics (the contract DESIGN.md Section 11 documents):
+
+* windows are keyed by ``(method, options)`` — requests only coalesce when
+  they can share one plan;
+* a window flushes when its timer fires **or** it reaches ``max_batch``,
+  whichever is first; ``window_seconds=0`` degenerates to
+  request-at-a-time serving (the benchmark baseline);
+* batches execute on a dedicated single worker thread **off the event
+  loop** (the service's own backend parallelizes the solves *inside* a
+  batch), so the loop keeps accepting and coalescing while a batch runs;
+* a waiter cancelled before its window flushes is dropped from the batch;
+  cancelled later, its slot still computes but the response is discarded —
+  either way every live waiter gets exactly one answer and no answer is
+  delivered twice;
+* :meth:`drain` (graceful shutdown) flushes every open window, refuses new
+  submissions, and waits for in-flight batches to finish, so accepted
+  requests are answered even while the listener is already closed.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import ThreadPoolExecutor
+from functools import partial
+from typing import Any
+
+from repro.api.answer import Answer
+from repro.plan.methods import APPROXIMATE_METHODS
+
+
+class CoalescerClosed(RuntimeError):
+    """Raised by :meth:`RequestCoalescer.submit` after shutdown began."""
+
+
+class _Window:
+    """One open coalescing window: its waiters and its flush timer."""
+
+    __slots__ = ("items", "timer")
+
+    def __init__(self):
+        self.items: "list[tuple[Any, asyncio.Future]]" = []
+        self.timer: "asyncio.TimerHandle | None" = None
+
+
+class RequestCoalescer:
+    """Merge concurrent requests into planned ``answer_many`` batches.
+
+    All bookkeeping runs on the event loop (no locks); only the planned
+    batch itself runs on the worker thread.  ``seed`` seeds a fresh rng
+    per batch for rng-driven methods (approximate and budgeted
+    auto-approx), which are legal but never bit-reproducible across
+    different coalescing outcomes — exact methods are.
+    """
+
+    def __init__(
+        self,
+        service,
+        db,
+        window_seconds: float = 0.010,
+        max_batch: int = 64,
+        metrics=None,
+        seed: int = 0,
+    ):
+        self._service = service
+        self._db = db
+        self.window_seconds = window_seconds
+        self.max_batch = max_batch
+        self._metrics = metrics
+        self._seed = seed
+        self._windows: "dict[tuple, _Window]" = {}
+        self._inflight: "set[asyncio.Task]" = set()
+        self._executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-coalescer"
+        )
+        self._closing = False
+        self.n_submitted = 0
+        self.n_batches = 0
+        self.n_full_flushes = 0
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+
+    async def submit(
+        self, request, method: "str | None" = None, **options
+    ) -> Answer:
+        """Queue one request into the current window; await its answer."""
+        if self._closing:
+            raise CoalescerClosed("the coalescer is draining; no new requests")
+        loop = asyncio.get_running_loop()
+        key = (method, tuple(sorted(options.items())))
+        window = self._windows.get(key)
+        if window is None:
+            window = self._windows[key] = _Window()
+            if self.window_seconds > 0:
+                window.timer = loop.call_later(
+                    self.window_seconds, self._flush, key
+                )
+        future: asyncio.Future = loop.create_future()
+        window.items.append((request, future))
+        self.n_submitted += 1
+        if len(window.items) >= self.max_batch:
+            self.n_full_flushes += 1
+            self._flush(key)
+        elif self.window_seconds <= 0:
+            self._flush(key)
+        return await future
+
+    async def execute_many(
+        self, requests, method: "str | None" = None, **options
+    ):
+        """Run a pre-assembled batch on the worker thread, off the loop.
+
+        The ``answer_many`` endpoint's path: the batch is already grouped,
+        so it skips the window and is planned as-is — on the same single
+        worker (serialized with coalesced batches, sharing their cache)
+        and tracked so :meth:`drain` waits for it.  Not counted in the
+        coalescing metrics: those measure what the window merged.
+        """
+        if self._closing:
+            raise CoalescerClosed("the coalescer is draining; no new requests")
+        loop = asyncio.get_running_loop()
+        session_limit = options.pop("session_limit", None)
+        call = partial(
+            self._service.answer_many,
+            list(requests),
+            self._db,
+            method=method,
+            rng=self._batch_rng(method, options),
+            session_limit=session_limit,
+            **options,
+        )
+        task = asyncio.ensure_future(
+            loop.run_in_executor(self._executor, call)
+        )
+        self._inflight.add(task)
+        task.add_done_callback(self._inflight.discard)
+        return await task
+
+    # ------------------------------------------------------------------
+    # Flushing
+    # ------------------------------------------------------------------
+
+    def _flush(self, key) -> None:
+        window = self._windows.pop(key, None)
+        if window is None:
+            return
+        if window.timer is not None:
+            window.timer.cancel()
+        # Waiters cancelled while the window was open leave the batch
+        # before it is planned; their slots cost nothing.
+        live = [(req, fut) for req, fut in window.items if not fut.done()]
+        if not live:
+            return
+        method, options = key
+        task = asyncio.get_running_loop().create_task(
+            self._run_batch(live, method, dict(options))
+        )
+        self._inflight.add(task)
+        task.add_done_callback(self._inflight.discard)
+
+    def _batch_rng(self, method: "str | None", options: dict):
+        """A fresh per-batch rng for the rng-driven methods, else None."""
+        effective = method if method is not None else self._service.method
+        if effective in APPROXIMATE_METHODS or effective == "auto-approx":
+            import numpy as np
+
+            return np.random.default_rng(self._seed)
+        return None
+
+    async def _run_batch(self, live, method, options) -> None:
+        loop = asyncio.get_running_loop()
+        requests = [request for request, _ in live]
+        session_limit = options.pop("session_limit", None)
+        call = partial(
+            self._service.answer_many,
+            requests,
+            self._db,
+            method=method,
+            rng=self._batch_rng(method, options),
+            session_limit=session_limit,
+            **options,
+        )
+        started = loop.time()
+        try:
+            batch = await loop.run_in_executor(self._executor, call)
+        except Exception as error:  # delivered per-waiter, not raised here
+            for _, future in live:
+                if not future.done():
+                    future.set_exception(error)
+            return
+        self.n_batches += 1
+        if self._metrics is not None:
+            self._metrics.observe_batch(
+                n_requests=len(live),
+                n_distinct_solves=batch.n_distinct_solves,
+                n_solves_planned=batch.n_solves_planned,
+                n_solves_eliminated=batch.n_solves_eliminated,
+                seconds=loop.time() - started,
+            )
+        for (_, future), answer in zip(live, batch.answers):
+            if not future.done():
+                future.set_result(answer)
+
+    # ------------------------------------------------------------------
+    # Shutdown
+    # ------------------------------------------------------------------
+
+    async def drain(self) -> None:
+        """Flush every open window and wait out the in-flight batches."""
+        self._closing = True
+        for key in list(self._windows):
+            self._flush(key)
+        while self._inflight:
+            await asyncio.gather(*list(self._inflight), return_exceptions=True)
+
+    def close(self) -> None:
+        """Release the worker thread (call after :meth:`drain`)."""
+        self._executor.shutdown(wait=True)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        return {
+            "n_submitted": self.n_submitted,
+            "n_batches": self.n_batches,
+            "n_full_flushes": self.n_full_flushes,
+            "open_windows": len(self._windows),
+            "in_flight_batches": len(self._inflight),
+            "window_seconds": self.window_seconds,
+            "max_batch": self.max_batch,
+            "draining": self._closing,
+        }

@@ -109,7 +109,12 @@ class PersistentCache:
         self._path = os.fspath(path)
         self._version = version if version is not None else default_version()
         self._lock = threading.RLock()
-        self._conn = sqlite3.connect(self._path, check_same_thread=False)
+        # A generous busy timeout: multiple serving backends may share one
+        # cache file (--cache-db), so a writer must wait out a concurrent
+        # transaction instead of failing with "database is locked".
+        self._conn = sqlite3.connect(
+            self._path, check_same_thread=False, timeout=30.0
+        )
         self._hits = 0
         self._misses = 0
         with self._lock:

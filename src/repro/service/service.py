@@ -78,6 +78,11 @@ class BatchResult:
     cache_stats: dict[str, float] = field(default_factory=dict)
     #: Name of the execution backend that ran the distinct solves.
     backend: str = ""
+    #: Per-session solves the plan contained before optimization, and how
+    #: many the optimizer's common-solve elimination merged away (zero on
+    #: the sequential approximate route).
+    n_solves_planned: int = 0
+    n_solves_eliminated: int = 0
 
     @property
     def probabilities(self) -> list[float]:
@@ -351,6 +356,8 @@ class PreferenceService:
             seconds=time.perf_counter() - started,
             cache_stats=self.stats(),
             backend=execution_backend.name,
+            n_solves_planned=plan.n_solves_planned,
+            n_solves_eliminated=plan.n_solves_eliminated,
         )
 
     def answer_many(

@@ -1,0 +1,256 @@
+"""Concurrency soak for the request coalescer.
+
+The serving contract under test: N async clients firing overlapping
+mixed-kind requests through :class:`RequestCoalescer` get answers
+bit-identical to sequential :func:`repro.api.evaluate.answer` calls, the
+coalesce ratio exceeds 1 (windows actually merged traffic), and
+cancellation mid-window neither loses nor duplicates responses.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.api.evaluate import answer
+from repro.db.examples import polling_example
+from repro.server.coalescer import CoalescerClosed, RequestCoalescer
+from repro.server.metrics import MetricsRegistry
+from repro.service.service import PreferenceService
+
+pytestmark = pytest.mark.timeout(120)
+
+BASE = "P(_, _; c1; c2), C(c1, 'D', _, _, e, _), C(c2, 'R', _, _, e, _)"
+# Same atoms, different order: canonicalization dedups it against BASE.
+REORDERED = "P(_, _; c1; c2), C(c2, 'R', _, _, e, _), C(c1, 'D', _, _, e, _)"
+
+#: Overlapping mixed-kind traffic: all four kinds over shared queries.
+CORPUS = [
+    BASE,
+    f"COUNT {BASE}",
+    f"TOPK 2 {BASE}",
+    f"AGG mean(V.age) {BASE}",
+    f"COUNT {REORDERED}",
+    f"AGG sum(V.age) {BASE}",
+]
+
+
+@pytest.fixture(scope="module")
+def db():
+    return polling_example()
+
+
+@pytest.fixture(scope="module")
+def expected(db):
+    """Sequential request-at-a-time ground truth for the corpus."""
+    return {text: answer(text, db) for text in CORPUS}
+
+
+def make_coalescer(db, **kwargs):
+    service = PreferenceService(backend="serial")
+    metrics = MetricsRegistry()
+    kwargs.setdefault("metrics", metrics)
+    return RequestCoalescer(service, db, **kwargs), metrics
+
+
+def run(coro):
+    return asyncio.run(asyncio.wait_for(coro, timeout=90))
+
+
+class TestSoak:
+    def test_concurrent_clients_match_sequential_answers(self, db, expected):
+        n_clients = 48
+
+        async def soak():
+            coalescer, metrics = make_coalescer(
+                db, window_seconds=0.05, max_batch=64
+            )
+            try:
+                results = await asyncio.gather(
+                    *(
+                        coalescer.submit(CORPUS[i % len(CORPUS)])
+                        for i in range(n_clients)
+                    )
+                )
+            finally:
+                await coalescer.drain()
+                coalescer.close()
+            return results, metrics, coalescer
+
+        results, metrics, coalescer = run(soak())
+
+        # Zero lost responses: every client got exactly one answer back.
+        assert len(results) == n_clients
+        for i, got in enumerate(results):
+            want = expected[CORPUS[i % len(CORPUS)]]
+            assert got.kind == want.kind
+            # Bit-identical to the sequential path: exact methods are
+            # deterministic and aggregate terminals draw from a fresh
+            # default_rng(0) in both paths when no rng is passed.
+            assert got.value == want.value
+        # The windows genuinely merged traffic.
+        assert metrics.coalesce_ratio > 1.0
+        assert coalescer.n_batches < n_clients
+        snapshot = metrics.snapshot()
+        assert snapshot["coalescing"]["n_coalesced_requests"] == n_clients
+        # Cross-request elimination fired on the live batches.
+        assert snapshot["coalescing"]["n_solves_eliminated"] > 0
+
+    def test_interleaved_option_keys_do_not_mix_windows(self, db):
+        async def soak():
+            coalescer, metrics = make_coalescer(db, window_seconds=0.05)
+            try:
+                plain, limited = await asyncio.gather(
+                    coalescer.submit(f"COUNT {BASE}"),
+                    coalescer.submit(f"COUNT {BASE}", session_limit=2),
+                )
+            finally:
+                await coalescer.drain()
+                coalescer.close()
+            return plain, limited, coalescer
+
+        plain, limited, coalescer = run(soak())
+        # Different options => different windows => separate batches.
+        assert coalescer.n_batches == 2
+        assert limited.n_sessions == 2
+        assert plain.n_sessions > limited.n_sessions
+        assert plain.value != limited.value
+
+
+class TestCancellation:
+    def test_cancel_before_flush_drops_waiter_only(self, db, expected):
+        async def scenario():
+            coalescer, metrics = make_coalescer(db, window_seconds=0.1)
+            tasks = [
+                asyncio.ensure_future(coalescer.submit(text))
+                for text in CORPUS[:5]
+            ]
+            await asyncio.sleep(0)  # let every submit join the window
+            tasks[1].cancel()
+            tasks[3].cancel()
+            survivors = await asyncio.gather(
+                tasks[0], tasks[2], tasks[4]
+            )
+            for cancelled in (tasks[1], tasks[3]):
+                with pytest.raises(asyncio.CancelledError):
+                    await cancelled
+            await coalescer.drain()
+            coalescer.close()
+            return survivors, metrics
+
+        survivors, metrics = run(scenario())
+        for got, text in zip(survivors, (CORPUS[0], CORPUS[2], CORPUS[4])):
+            assert got.value == expected[text].value
+        # Cancelled waiters left before planning: the batch only carried
+        # the three live requests, and nobody was answered twice.
+        assert metrics.snapshot()["coalescing"]["n_coalesced_requests"] == 3
+
+    def test_cancel_after_flush_discards_response_cleanly(self, db, expected):
+        async def scenario():
+            coalescer, _ = make_coalescer(db, window_seconds=0)
+            doomed = asyncio.ensure_future(coalescer.submit(CORPUS[0]))
+            safe = asyncio.ensure_future(coalescer.submit(CORPUS[1]))
+            await asyncio.sleep(0)
+            doomed.cancel()  # its batch may already be running
+            got = await safe
+            with pytest.raises(asyncio.CancelledError):
+                await doomed
+            await coalescer.drain()
+            coalescer.close()
+            return got
+
+        got = run(scenario())
+        assert got.value == expected[CORPUS[1]].value
+
+
+class TestWindows:
+    def test_max_batch_flushes_early(self, db, expected):
+        async def scenario():
+            coalescer, _ = make_coalescer(
+                db, window_seconds=30.0, max_batch=3
+            )
+            try:
+                results = await asyncio.gather(
+                    *(coalescer.submit(CORPUS[i]) for i in range(3))
+                )
+            finally:
+                await coalescer.drain()
+                coalescer.close()
+            return results, coalescer
+
+        # With a 30s window this only terminates via the max_batch flush
+        # (the whole scenario is capped at 90s by run()).
+        results, coalescer = run(scenario())
+        assert coalescer.n_full_flushes == 1
+        assert [a.value for a in results] == [
+            expected[CORPUS[i]].value for i in range(3)
+        ]
+
+    def test_zero_window_serves_request_at_a_time(self, db, expected):
+        async def scenario():
+            coalescer, metrics = make_coalescer(db, window_seconds=0)
+            try:
+                results = await asyncio.gather(
+                    *(coalescer.submit(CORPUS[i]) for i in range(4))
+                )
+            finally:
+                await coalescer.drain()
+                coalescer.close()
+            return results, coalescer
+
+        results, coalescer = run(scenario())
+        assert coalescer.n_batches == 4  # nothing coalesced: the baseline
+        for got, text in zip(results, CORPUS[:4]):
+            assert got.value == expected[text].value
+
+
+class TestFailureAndShutdown:
+    def test_evaluation_error_is_delivered_to_the_waiter(self, db):
+        async def scenario():
+            coalescer, _ = make_coalescer(db, window_seconds=0)
+            try:
+                with pytest.raises(KeyError):
+                    await coalescer.submit(f"AGG mean(C.age) {BASE}")
+            finally:
+                await coalescer.drain()
+                coalescer.close()
+
+        run(scenario())
+
+    def test_submit_after_drain_is_refused(self, db):
+        async def scenario():
+            coalescer, _ = make_coalescer(db, window_seconds=0.01)
+            first = asyncio.ensure_future(coalescer.submit(CORPUS[0]))
+            await asyncio.sleep(0)
+            drained = asyncio.ensure_future(coalescer.drain())
+            await asyncio.sleep(0)
+            with pytest.raises(CoalescerClosed):
+                await coalescer.submit(CORPUS[1])
+            # The request accepted before the drain still gets answered.
+            got = await first
+            await drained
+            coalescer.close()
+            return got
+
+        got = run(scenario())
+        assert got.kind == "probability"
+
+    def test_execute_many_matches_direct_answer_many(self, db):
+        service = PreferenceService(backend="serial")
+        direct = service.answer_many(list(CORPUS), db)
+
+        async def scenario():
+            coalescer = RequestCoalescer(service, db, window_seconds=0.01)
+            try:
+                return await coalescer.execute_many(list(CORPUS))
+            finally:
+                await coalescer.drain()
+                coalescer.close()
+
+        batch = run(scenario())
+        assert batch.n_requests == direct.n_requests
+        assert batch.n_solves_planned == direct.n_solves_planned
+        assert batch.n_solves_eliminated == direct.n_solves_eliminated
+        for got, want in zip(batch.answers, direct.answers):
+            assert got.value == want.value
