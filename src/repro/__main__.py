@@ -405,7 +405,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     batch_parser.add_argument(
         "--approx-budget", type=float, default=None, metavar="STATES",
-        help="auto-approx state-count budget (default: the planner's 5e6)",
+        help="auto-approx state-count budget (default: the planner's 5e7)",
     )
     batch_parser.add_argument("--seed", type=int, default=7)
 

@@ -14,6 +14,16 @@ from repro.kernels.density import (
     mallows_log_probability_many,
     rim_log_probability_many,
 )
+from repro.kernels.dp import (
+    bipartite_basic_engine,
+    bipartite_pruned_engine,
+    jit_enabled,
+    lifted_engine,
+    merge_states,
+    scalar_gap_segments,
+    sequential_sum,
+    two_label_engine,
+)
 from repro.kernels.precompute import (
     ModelTables,
     clear_caches,
@@ -48,8 +58,16 @@ __all__ = [
     "subranking_predicate",
     "amp_log_probability_many",
     "amp_sample_positions",
+    "bipartite_basic_engine",
+    "bipartite_pruned_engine",
     "clear_caches",
+    "jit_enabled",
     "kendall_tau_many",
+    "lifted_engine",
+    "merge_states",
+    "scalar_gap_segments",
+    "sequential_sum",
+    "two_label_engine",
     "mallows_log_probability_many",
     "mallows_log_z",
     "mallows_matrix",

@@ -1,0 +1,110 @@
+"""Optional numba JIT layer for the DP kernels (DESIGN.md Section 12).
+
+The array-compiled DP engines of :mod:`repro.kernels.dp` are plain NumPy
+except for one inherently sequential kernel: the order-preserving
+**segment fold** that accumulates merged-state probabilities in exactly
+the scalar reference's dict-accumulation order (NumPy's ``reduceat`` and
+``sum`` use pairwise summation, which rounds differently and would break
+the bit-identity contract).  The pure-NumPy implementation amortizes the
+fold across segments by looping over the multiplicity axis; this module
+optionally compiles the direct nested loop with numba instead.
+
+Activation contract:
+
+* the layer is **opt-in twice** — numba must be installed (the ``[jit]``
+  extra: ``pip install repro-hard-queries[jit]``) *and* the environment
+  must set ``REPRO_JIT=1``;
+* when either is missing the kernels fall back to NumPy **silently** —
+  no warning, no behavior change — so the extra can never become a hard
+  dependency;
+* the compiled fold performs the same left-to-right IEEE additions as
+  the NumPy path, so results are bit-identical with the flag on or off
+  (CI reruns the solver equivalence suite with ``REPRO_JIT=1`` to pin
+  this).
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+#: Environment flag that opts into the numba-compiled kernels.
+JIT_ENV = "REPRO_JIT"
+
+_compiled = None
+_compile_failed = False
+
+
+def jit_requested() -> bool:
+    """Whether the environment asked for the numba layer (``REPRO_JIT=1``)."""
+    return os.environ.get(JIT_ENV) == "1"
+
+
+def jit_available() -> bool:
+    """Whether numba is importable (the ``[jit]`` extra is installed)."""
+    try:
+        import numba  # noqa: F401
+    except Exception:
+        return False
+    return True
+
+
+def jit_enabled() -> bool:
+    """Whether DP kernels will actually use compiled folds right now."""
+    return jit_requested() and _compile() is not None
+
+
+def _compile():
+    """Compile (once) and return the numba segment fold, or None."""
+    global _compiled, _compile_failed
+    if _compiled is not None:
+        return _compiled
+    if _compile_failed:
+        return None
+    try:
+        from numba import njit
+
+        @njit(cache=True)
+        def segment_fold(values, starts, lengths):  # pragma: no cover - numba
+            out = np.empty(starts.size, np.float64)
+            for s in range(starts.size):
+                acc = values[starts[s]]
+                for t in range(1, lengths[s]):
+                    acc = acc + values[starts[s] + t]
+                out[s] = acc
+            return out
+
+        # Warm the compilation so the first real solve does not pay it.
+        segment_fold(
+            np.zeros(1, np.float64),
+            np.zeros(1, np.int64),
+            np.ones(1, np.int64),
+        )
+        _compiled = segment_fold
+    except Exception:
+        # Any failure (missing numba, unsupported platform, compilation
+        # error) silently falls back to the NumPy fold.
+        _compile_failed = True
+        return None
+    return _compiled
+
+
+def maybe_segment_fold(values, starts, lengths):
+    """The numba fold if enabled, else ``None`` (caller uses NumPy).
+
+    ``values`` must already be sorted so that each segment's elements are
+    contiguous and in accumulation order; ``starts``/``lengths`` describe
+    the segments.  The compiled loop folds each segment left to right —
+    the same additions, in the same order, as the scalar reference.
+    """
+    if not jit_requested():
+        return None
+    fold = _compile()
+    if fold is None:
+        return None
+    return fold(
+        np.ascontiguousarray(values, np.float64),
+        np.ascontiguousarray(starts, np.int64),
+        np.ascontiguousarray(lengths, np.int64),
+    )

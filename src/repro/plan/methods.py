@@ -46,7 +46,11 @@ AUTO_METHODS = ("auto", "auto-approx")
 EXACT_METHODS = ("two_label", "bipartite", "general", "lifted", "brute")
 
 #: State-count budget above which ``"auto-approx"`` falls back to MIS-AMP.
-DEFAULT_APPROX_BUDGET = 5_000_000.0
+#: Calibrated against the array-compiled DP engines (kernels/dp.py, see
+#: BENCH_dp.json): at 10-24x the scalar throughput, exact DPs stay cheaper
+#: than a converged MIS-AMP run up to an order of magnitude more states
+#: than the original 5e6 setting.
+DEFAULT_APPROX_BUDGET = 50_000_000.0
 
 #: The approximate method ``"auto-approx"`` falls back to.
 AUTO_APPROX_FALLBACK = "mis_amp_adaptive"

@@ -29,6 +29,11 @@ from __future__ import annotations
 
 import time
 
+from repro.kernels.dp import (
+    bipartite_basic_engine,
+    bipartite_pruned_engine,
+    scalar_gap_segments,
+)
 from repro.kernels.precompute import model_tables
 from repro.patterns.labels import Labeling
 from repro.solvers.base import (
@@ -49,9 +54,17 @@ def bipartite_probability(
     *,
     pruned: bool = True,
     merge_gaps: bool = True,
+    vectorized: bool = True,
     time_budget: float | None = None,
 ) -> SolverResult:
-    """Exact ``Pr(G)`` for a union of bipartite patterns (Algorithm 4)."""
+    """Exact ``Pr(G)`` for a union of bipartite patterns (Algorithm 4).
+
+    ``vectorized=True`` (the default) runs the array-compiled state-table
+    engines of :mod:`repro.kernels.dp`; ``vectorized=False`` runs the
+    original dict-of-tuples DPs, kept as the scalar reference semantics
+    (DESIGN.md Sections 7.3 and 12).  Both produce bit-identical
+    probabilities and identical ``peak_states``.
+    """
     union = as_union(union_or_pattern)
     if not union.is_bipartite():
         raise UnsupportedPatternError(
@@ -110,11 +123,12 @@ def bipartite_probability(
         return _pruned_dp(
             model, union, pattern_edges, serves_left, serves_right,
             last_left, last_right, len(left_sets), len(right_sets),
-            merge_gaps, time_budget, started,
+            merge_gaps, vectorized, time_budget, started,
         )
     return _basic_dp(
         model, union, pattern_edges, serves_left, serves_right,
-        len(left_sets), len(right_sets), merge_gaps, time_budget, started,
+        len(left_sets), len(right_sets), merge_gaps, vectorized,
+        time_budget, started,
     )
 
 
@@ -125,9 +139,31 @@ def bipartite_probability(
 
 def _basic_dp(
     model, union, pattern_edges, serves_left, serves_right,
-    n_left, n_right, merge_gaps, time_budget, started,
+    n_left, n_right, merge_gaps, vectorized, time_budget, started,
 ) -> SolverResult:
     tables = model_tables(model)
+    if vectorized:
+        total, peak_states, final_states = bipartite_basic_engine(
+            tables,
+            model.m,
+            serves_left,
+            serves_right,
+            n_left,
+            n_right,
+            pattern_edges,
+            merge_gaps=merge_gaps,
+            time_budget=time_budget,
+            started=started,
+        )
+        return SolverResult(
+            probability=min(1.0, max(0.0, total)),
+            solver="bipartite[basic]",
+            stats={
+                "peak_states": peak_states,
+                "final_states": final_states,
+                "seconds": time.perf_counter() - started,
+            },
+        )
     pi = tables.pi
     initial = (tuple([None] * n_left), tuple([None] * n_right))
     states: dict[tuple, float] = {initial: 1.0}
@@ -148,14 +184,9 @@ def _basic_dp(
                     {p for p in alpha if p is not None}
                     | {p for p in beta if p is not None}
                 )
-                boundaries = [0] + tracked + [i]
-                for k in range(len(boundaries) - 1):
-                    low, high = boundaries[k] + 1, boundaries[k + 1]
-                    if low > high:
-                        continue
-                    weight = float(prefix[high] - prefix[low - 1])
-                    if weight <= 0.0:
-                        continue
+                for high, weight in scalar_gap_segments(
+                    [0] + tracked + [i], prefix
+                ):
                     key = (
                         tuple(
                             p + 1 if p is not None and p >= high else p
@@ -237,7 +268,7 @@ def _update(values: tuple, serving: set, j: int, *, minimum: bool) -> tuple:
 def _pruned_dp(
     model, union, pattern_edges, serves_left, serves_right,
     last_left, last_right, n_left, n_right,
-    merge_gaps, time_budget, started,
+    merge_gaps, vectorized, time_budget, started,
 ) -> SolverResult:
     tables = model_tables(model)
     pi = tables.pi
@@ -254,6 +285,32 @@ def _pruned_dp(
     if all(status is _VIOLATED for status in initial_status):
         return SolverResult(
             0.0, solver="bipartite", stats={"unsatisfiable": True}
+        )
+
+    if vectorized:
+        absorbed, peak_states, leftover = bipartite_pruned_engine(
+            tables,
+            m,
+            serves_left,
+            serves_right,
+            n_left,
+            n_right,
+            pattern_edges,
+            last_left,
+            last_right,
+            tuple(initial_status),
+            merge_gaps=merge_gaps,
+            time_budget=time_budget,
+            started=started,
+        )
+        return SolverResult(
+            probability=min(1.0, max(0.0, absorbed)),
+            solver="bipartite",
+            stats={
+                "peak_states": peak_states,
+                "leftover_states": leftover,
+                "seconds": time.perf_counter() - started,
+            },
         )
 
     def tracked_labels(status: tuple) -> tuple[tuple[int, ...], tuple[int, ...]]:
@@ -304,14 +361,9 @@ def _pruned_dp(
                     {p for p in alpha if p is not None}
                     | {p for p in beta if p is not None}
                 )
-                boundaries = [0] + tracked + [i]
-                for k in range(len(boundaries) - 1):
-                    low, high = boundaries[k] + 1, boundaries[k + 1]
-                    if low > high:
-                        continue
-                    weight = float(prefix[high] - prefix[low - 1])
-                    if weight <= 0.0:
-                        continue
+                for high, weight in scalar_gap_segments(
+                    [0] + tracked + [i], prefix
+                ):
                     key = (
                         status,
                         tuple(

@@ -32,6 +32,9 @@ from __future__ import annotations
 import time
 from typing import Hashable
 
+import numpy as np
+
+from repro.kernels.dp import lifted_engine, scalar_gap_segments
 from repro.kernels.precompute import model_tables
 from repro.patterns.labels import Labeling
 from repro.patterns.matching import match_served_sequence
@@ -50,9 +53,16 @@ def lifted_probability(
     *,
     merge_gaps: bool = True,
     prune_dead: bool = True,
+    vectorized: bool = True,
     time_budget: float | None = None,
 ) -> SolverResult:
     """Exact ``Pr(G | sigma, Pi, lambda)`` for any pattern union.
+
+    ``vectorized=True`` (the default) runs the array-compiled state-table
+    engine of :mod:`repro.kernels.dp`; ``vectorized=False`` runs the
+    original dict-of-tuples DP, kept as the scalar reference semantics
+    (DESIGN.md Sections 7.3 and 12).  Both produce bit-identical
+    probabilities and identical ``peak_states``.
 
     Raises :class:`SolverTimeout` if ``time_budget`` (seconds) is exceeded.
     """
@@ -136,6 +146,97 @@ def lifted_probability(
 
     # --- The DP ----------------------------------------------------------
     tables = model_tables(model)
+    if vectorized:
+        # serve_matrix[k, s]: does signature s serve node number k?  The
+        # batch evaluators below replicate the scalar predicates above,
+        # vectorized over an (n, L) matrix of signature-id rows.
+        node_list = list(all_nodes)
+        node_index = {node: k for k, node in enumerate(node_list)}
+        serve_matrix = np.zeros((len(node_list), len(signatures)), bool)
+        for s, signature in enumerate(signatures):
+            for node in signature:
+                serve_matrix[node_index[node], s] = True
+
+        def batch_matches(sig_rows: np.ndarray) -> np.ndarray:
+            """Greedy canonical matcher over the whole batch at once.
+
+            Same induction as ``match_served_sequence``: nodes in
+            topological order, each mapped to the smallest slot strictly
+            after all parents whose signature serves it — but the slot
+            search is an ``argmax`` over the batch axis.
+            """
+            n, length = sig_rows.shape
+            result = np.zeros(n, bool)
+            if n == 0 or length == 0:
+                return result
+            slots = np.arange(1, length + 1, dtype=np.int64)[None, :]
+            rows = np.arange(n)
+            for pattern in union:
+                ok = np.ones(n, bool)
+                delta: dict = {}
+                for node in pattern.topological_order:
+                    bound = np.zeros(n, np.int64)
+                    for parent in pattern.parents(node):
+                        np.maximum(bound, delta[parent], out=bound)
+                    feasible = serve_matrix[node_index[node]][sig_rows]
+                    feasible &= slots > bound[:, None]
+                    first = feasible.argmax(axis=1)
+                    ok &= feasible[rows, first]
+                    # Garbage where infeasible — those rows are already
+                    # marked failed, so child bounds don't matter.
+                    delta[node] = first + 1
+                result |= ok
+            return result
+
+        def batch_dead(sig_rows: np.ndarray, step: int) -> np.ndarray:
+            """Vectorized ``sequence_dead``: no pattern fully servable."""
+            n = sig_rows.shape[0]
+            available: dict = {}
+
+            def node_available(node) -> np.ndarray:
+                got = available.get(node)
+                if got is None:
+                    if node in future_nodes[step]:
+                        got = np.ones(n, bool)
+                    else:
+                        got = serve_matrix[node_index[node]][sig_rows].any(
+                            axis=1
+                        )
+                    available[node] = got
+                return got
+
+            dead = np.ones(n, bool)
+            for pattern in union:
+                covered = np.ones(n, bool)
+                for node in pattern.nodes:
+                    covered &= node_available(node)
+                dead &= ~covered
+            return dead
+
+        absorbed, peak_states, expansions = lifted_engine(
+            tables,
+            last_relevant,
+            step_signature,
+            len(signatures),
+            batch_matches,
+            batch_dead,
+            prune_dead=prune_dead,
+            merge_gaps=merge_gaps,
+            time_budget=time_budget,
+            started=started,
+        )
+        return SolverResult(
+            probability=min(1.0, max(0.0, absorbed)),
+            solver="lifted",
+            stats={
+                "peak_states": peak_states,
+                "expansions": expansions,
+                "n_relevant_items": len(relevant_steps),
+                "last_relevant_step": last_relevant,
+                "seconds": time.perf_counter() - started,
+            },
+        )
+
     pi = tables.pi
     states: dict[_State, float] = {(): 1.0}
     absorbed = 0.0
@@ -155,12 +256,9 @@ def lifted_probability(
                 prefix = tables.cumulative[i - 1]
                 for state, prob in states.items():
                     positions = [p for p, _ in state]
-                    boundaries = [0] + positions + [i]
-                    for k in range(len(boundaries) - 1):
-                        low, high = boundaries[k] + 1, boundaries[k + 1]
-                        weight = float(prefix[high] - prefix[low - 1])
-                        if weight <= 0.0:
-                            continue
+                    for high, weight in scalar_gap_segments(
+                        [0] + positions + [i], prefix
+                    ):
                         shifted = tuple(
                             (p + 1, s) if p >= high else (p, s)
                             for p, s in state

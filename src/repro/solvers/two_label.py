@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import time
 
+from repro.kernels.dp import scalar_gap_segments, two_label_engine
 from repro.kernels.precompute import model_tables
 from repro.patterns.labels import Labeling
 from repro.solvers.base import (
@@ -39,9 +40,17 @@ def two_label_probability(
     union_or_pattern,
     *,
     merge_gaps: bool = True,
+    vectorized: bool = True,
     time_budget: float | None = None,
 ) -> SolverResult:
-    """Exact ``Pr(G)`` for a union of two-label patterns (Algorithm 3)."""
+    """Exact ``Pr(G)`` for a union of two-label patterns (Algorithm 3).
+
+    ``vectorized=True`` (the default) runs the array-compiled state-table
+    engine of :mod:`repro.kernels.dp`; ``vectorized=False`` runs the
+    original dict-of-tuples DP, kept as the scalar reference semantics
+    (DESIGN.md Sections 7.3 and 12).  Both produce bit-identical
+    probabilities and identical ``peak_states``.
+    """
     union = as_union(union_or_pattern)
     if not union.is_two_label():
         raise UnsupportedPatternError(
@@ -97,6 +106,29 @@ def two_label_probability(
     # DP over insertions
     # ------------------------------------------------------------------
     tables = model_tables(model)
+    if vectorized:
+        violation_mass, peak_states, final_states = two_label_engine(
+            tables,
+            model.m,
+            serves_left,
+            serves_right,
+            len(left_sets),
+            len(right_sets),
+            pattern_pairs,
+            merge_gaps=merge_gaps,
+            time_budget=time_budget,
+            started=started,
+        )
+        return SolverResult(
+            probability=min(1.0, max(0.0, 1.0 - violation_mass)),
+            solver="two_label",
+            stats={
+                "peak_states": peak_states,
+                "final_states": final_states,
+                "seconds": time.perf_counter() - started,
+            },
+        )
+
     pi = tables.pi
     initial = (
         tuple([None] * len(left_sets)),
@@ -123,14 +155,9 @@ def two_label_probability(
                     {p for p in alpha if p is not None}
                     | {p for p in beta if p is not None}
                 )
-                boundaries = [0] + tracked + [i]
-                for k in range(len(boundaries) - 1):
-                    low, high = boundaries[k] + 1, boundaries[k + 1]
-                    if low > high:
-                        continue
-                    weight = float(prefix[high] - prefix[low - 1])
-                    if weight <= 0.0:
-                        continue
+                for high, weight in scalar_gap_segments(
+                    [0] + tracked + [i], prefix
+                ):
                     new_alpha = tuple(
                         p + 1 if p is not None and p >= high else p
                         for p in alpha
