@@ -10,6 +10,7 @@ Usage::
     python -m repro explain "<query>"    # cost-annotated query plan
     python -m repro query "<request>"    # one-shot evaluation of any kind
     python -m repro serve                # coalescing HTTP/JSON front-end
+    python -m repro lint [paths]         # project-invariant static analysis
 
 The ``query`` and ``explain`` commands accept the unified request grammar
 (:mod:`repro.api.requests`): plain CQ text evaluates the Boolean
@@ -468,6 +469,10 @@ def main(argv: list[str] | None = None) -> int:
 
     add_serve_parser(subparsers)
 
+    from repro.analysis.cli import add_lint_parser
+
+    add_lint_parser(subparsers)
+
     args = parser.parse_args(argv)
     if args.command == "list":
         for name in sorted(EXPERIMENTS):
@@ -487,6 +492,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.server.cli import run_serve
 
         return run_serve(args)
+    if args.command == "lint":
+        from repro.analysis.cli import run_lint
+
+        return run_lint(args)
     if args.command == "demo":
         # The examples directory is not an installed package; run the
         # quickstart by path so `python -m repro demo` works from a clone.

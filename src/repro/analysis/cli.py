@@ -1,0 +1,107 @@
+"""``python -m repro lint`` — the command-line front-end of the linter.
+
+Exit codes follow the convention of the other subcommands: ``0`` clean,
+``1`` findings, ``2`` usage/IO errors (unknown rule, missing path,
+unreadable baseline).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any
+
+from repro.analysis.engine import lint_paths, save_baseline
+from repro.analysis.rules import all_rules, get_rules
+
+
+def add_lint_parser(subparsers: Any) -> None:
+    parser = subparsers.add_parser(
+        "lint",
+        help="check project invariants (rng discipline, cache-key purity, ...)",
+        description=(
+            "AST-based checks for the repository's load-bearing invariants; "
+            "see DESIGN.md Section 13 for the rule catalogue and the "
+            "'# repro: allow[rule-id]' suppression contract."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--rule",
+        action="append",
+        dest="rules",
+        metavar="RULE-ID",
+        help="run only this rule (repeatable); default: all rules",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help="suppress findings whose fingerprints appear in this baseline file",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        metavar="FILE",
+        help="write current findings as an accepted baseline and exit 0",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list available rules and exit",
+    )
+
+
+def run_lint(args: argparse.Namespace) -> int:
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.rule_id}: {rule.description}")
+        return 0
+    try:
+        rules = get_rules(args.rules)
+    except KeyError as error:
+        print(f"error: {error.args[0]}", file=sys.stderr)
+        return 2
+    try:
+        result = lint_paths(args.paths, rules=rules, baseline=args.baseline)
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except (OSError, ValueError, json.JSONDecodeError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.write_baseline:
+        count = save_baseline(args.write_baseline, result)
+        print(f"wrote {count} fingerprint(s) to {args.write_baseline}")
+        return 0
+    if args.format == "json":
+        print(
+            json.dumps(
+                {
+                    "files": result.n_files,
+                    "rules": result.rules,
+                    "findings": [finding.as_dict() for finding in result.findings],
+                },
+                indent=2,
+            )
+        )
+    else:
+        for finding in result.findings:
+            print(finding.format())
+        summary = (
+            f"{len(result.findings)} finding(s) in {result.n_files} file(s)"
+            if result.findings
+            else f"clean: {result.n_files} file(s), {len(result.rules)} rule(s)"
+        )
+        print(summary)
+    return 0 if result.ok else 1

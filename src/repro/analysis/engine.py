@@ -1,0 +1,356 @@
+"""The rule engine: discovery, findings, suppressions, baselines.
+
+The engine is deliberately small and dependency-free: every rule is an
+AST visitor over one parsed module (:class:`ModuleInfo`), optionally
+consulting project-wide context (:class:`Project` — e.g. which modules
+the test suite imports).  Findings are structured (``file:line:col``,
+rule id, message, fix hint) so the CLI can render text or JSON and CI
+can gate on them.
+
+Suppression contract: a finding is suppressed by a comment
+
+    # repro: allow[rule-id] <one-line justification>
+
+on the flagged line or the line directly above it.  ``allow[*]``
+suppresses every rule on that line.  Suppressions are deliberately
+line-scoped — a file- or block-scoped escape hatch would rot.
+
+Baselines (for adopting a new rule on an old tree) are JSON files of
+finding fingerprints; a fingerprint hashes the rule id, the file path
+relative to the project root, and the stripped source line, so findings
+survive unrelated edits that shift line numbers.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import json
+import os
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable, Iterator, Sequence
+
+#: Comment form that suppresses findings on its own line or the next.
+SUPPRESS_RE = re.compile(r"#\s*repro:\s*allow\[([^\]]+)\]")
+
+#: Directories never descended into during discovery.
+_SKIP_DIRS = {"__pycache__", ".git", ".hypothesis", ".pytest_cache", "node_modules"}
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation, anchored to a source position."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+    hint: str = ""
+
+    def format(self) -> str:
+        text = f"{self.path}:{self.line}:{self.col}: [{self.rule}] {self.message}"
+        if self.hint:
+            text += f"\n    hint: {self.hint}"
+        return text
+
+    def as_dict(self) -> dict:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+            "hint": self.hint,
+        }
+
+    def fingerprint(self, root: "Path | None" = None, line_text: str = "") -> str:
+        """A line-number-independent identity for baseline files."""
+        path = self.path
+        if root is not None:
+            try:
+                path = Path(self.path).resolve().relative_to(root.resolve()).as_posix()
+            except ValueError:
+                path = Path(self.path).as_posix()
+        digest = hashlib.sha1(
+            f"{self.rule}|{path}|{line_text.strip()}".encode("utf-8", "replace")
+        )
+        return digest.hexdigest()
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed source file plus the metadata rules need."""
+
+    path: str
+    source: str
+    tree: ast.Module
+    lines: list[str]
+    #: Dotted module name when the file lives under a ``repro`` package
+    #: root (``src/repro/server/http.py`` -> ``repro.server.http``);
+    #: ``None`` for scripts, benchmarks, and test fixtures.  Rules scoped
+    #: to a package (wire-purity, the async checks) key off this.
+    module: "str | None" = None
+
+    @classmethod
+    def from_source(
+        cls, source: str, path: str = "<memory>", module: "str | None" = None
+    ) -> "ModuleInfo":
+        tree = ast.parse(source, filename=path)
+        name = module if module is not None else module_name_for(path)
+        return cls(
+            path=path,
+            source=source,
+            tree=tree,
+            lines=source.splitlines(),
+            module=name,
+        )
+
+    @classmethod
+    def from_path(cls, path: "str | os.PathLike") -> "ModuleInfo":
+        text = Path(path).read_text(encoding="utf-8")
+        return cls.from_source(text, path=str(path))
+
+    def line_text(self, line: int) -> str:
+        """1-based source line (empty for out-of-range)."""
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1]
+        return ""
+
+    def is_suppressed(self, line: int, rule_id: str) -> bool:
+        """True when ``line`` or the line above carries an allow comment."""
+        for candidate in (line, line - 1):
+            for match in SUPPRESS_RE.finditer(self.line_text(candidate)):
+                allowed = [name.strip() for name in match.group(1).split(",")]
+                if "*" in allowed or rule_id in allowed:
+                    return True
+        return False
+
+
+def module_name_for(path: "str | os.PathLike") -> "str | None":
+    """The dotted module name of a file under a ``repro`` package root."""
+    parts = Path(path).parts
+    if "repro" not in parts:
+        return None
+    index = len(parts) - 1 - parts[::-1].index("repro")
+    dotted = list(parts[index:])
+    if not dotted[-1].endswith(".py"):
+        return None
+    dotted[-1] = dotted[-1][: -len(".py")]
+    if dotted[-1] == "__init__":
+        dotted.pop()
+    return ".".join(dotted)
+
+
+class Project:
+    """Project-wide context shared by all rules during one lint run."""
+
+    def __init__(
+        self,
+        root: "str | os.PathLike",
+        modules: "Sequence[ModuleInfo] | None" = None,
+        test_imports: "frozenset[str] | None" = None,
+    ):
+        self.root = Path(root)
+        self.modules = list(modules or [])
+        self._test_imports = test_imports
+
+    @property
+    def test_imports(self) -> frozenset[str]:
+        """Every dotted module the test suite imports (``tests/**/*.py``).
+
+        ``import x`` contributes ``x``; ``from x import y`` contributes
+        both ``x`` and ``x.y`` (covering ``from package import module``).
+        Package prefixes are deliberately NOT credited: ``import repro``
+        must not satisfy a reference check for ``repro.rim.model``.
+        """
+        if self._test_imports is None:
+            self._test_imports = self._scan_test_imports()
+        return self._test_imports
+
+    def _scan_test_imports(self) -> frozenset[str]:
+        names: set[str] = set()
+        tests_dir = self.root / "tests"
+        if not tests_dir.is_dir():
+            return frozenset()
+        for path in sorted(tests_dir.rglob("*.py")):
+            if "analysis_fixtures" in path.parts:
+                continue
+            try:
+                tree = ast.parse(path.read_text(encoding="utf-8"))
+            except SyntaxError:
+                continue
+            for node in ast.walk(tree):
+                if isinstance(node, ast.Import):
+                    for alias in node.names:
+                        names.add(alias.name)
+                elif isinstance(node, ast.ImportFrom) and node.module:
+                    names.add(node.module)
+                    for alias in node.names:
+                        names.add(f"{node.module}.{alias.name}")
+        return frozenset(names)
+
+
+class Rule:
+    """Base of every lint rule: an id, a description, and a visitor."""
+
+    rule_id: str = ""
+    description: str = ""
+    hint: str = ""
+
+    def check(self, module: ModuleInfo, project: Project) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(
+        self, module: ModuleInfo, node: ast.AST, message: str, hint: "str | None" = None
+    ) -> Finding:
+        return Finding(
+            path=module.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            rule=self.rule_id,
+            message=message,
+            hint=self.hint if hint is None else hint,
+        )
+
+
+def discover_files(paths: Iterable["str | os.PathLike"]) -> list[str]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    found: list[str] = []
+    for entry in paths:
+        path = Path(entry)
+        if path.is_dir():
+            for candidate in sorted(path.rglob("*.py")):
+                if not _SKIP_DIRS.intersection(candidate.parts):
+                    found.append(str(candidate))
+        elif path.suffix == ".py":
+            found.append(str(path))
+        else:
+            raise FileNotFoundError(f"no such file or directory: {path}")
+    return sorted(dict.fromkeys(found))
+
+
+def _run_rules(
+    modules: Sequence[ModuleInfo],
+    rules: Sequence[Rule],
+    project: Project,
+) -> list[Finding]:
+    findings: list[Finding] = []
+    for module in modules:
+        for rule in rules:
+            for finding in rule.check(module, project):
+                if not module.is_suppressed(finding.line, finding.rule):
+                    findings.append(finding)
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings
+
+
+def lint_source(
+    source: str,
+    path: str = "<memory>",
+    module: "str | None" = None,
+    rules: "Sequence[Rule] | None" = None,
+    project: "Project | None" = None,
+) -> list[Finding]:
+    """Lint one in-memory source text (the fixture-corpus entry point)."""
+    from repro.analysis.rules import all_rules
+
+    info = ModuleInfo.from_source(source, path=path, module=module)
+    if project is None:
+        project = Project(os.getcwd(), [info])
+    return _run_rules([info], list(rules) if rules is not None else all_rules(), project)
+
+
+@dataclass
+class LintResult:
+    """What one :func:`lint_paths` run saw (for the CLI and tests)."""
+
+    findings: list[Finding]
+    n_files: int
+    rules: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+
+def lint_paths(
+    paths: Iterable["str | os.PathLike"],
+    rules: "Sequence[Rule] | None" = None,
+    project_root: "str | os.PathLike | None" = None,
+    baseline: "str | os.PathLike | None" = None,
+) -> LintResult:
+    """Lint files/directories; returns findings not suppressed or baselined."""
+    from repro.analysis.rules import all_rules
+
+    active = list(rules) if rules is not None else all_rules()
+    root = Path(project_root) if project_root is not None else Path(os.getcwd())
+    modules: list[ModuleInfo] = []
+    findings: list[Finding] = []
+    by_path: dict[str, ModuleInfo] = {}
+    for file_path in discover_files(paths):
+        try:
+            info = ModuleInfo.from_path(file_path)
+        except SyntaxError as error:
+            findings.append(
+                Finding(
+                    path=file_path,
+                    line=error.lineno or 1,
+                    col=(error.offset or 1),
+                    rule="parse-error",
+                    message=f"cannot parse: {error.msg}",
+                )
+            )
+            continue
+        modules.append(info)
+        by_path[info.path] = info
+    project = Project(root, modules)
+    findings.extend(_run_rules(modules, active, project))
+    if baseline is not None:
+        known = set(load_baseline(baseline))
+        findings = [
+            f
+            for f in findings
+            if _fingerprint_of(f, root, by_path) not in known
+        ]
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return LintResult(
+        findings=findings,
+        n_files=len(modules),
+        rules=[rule.rule_id for rule in active],
+    )
+
+
+def _fingerprint_of(
+    finding: Finding, root: Path, by_path: dict[str, ModuleInfo]
+) -> str:
+    info = by_path.get(finding.path)
+    line_text = info.line_text(finding.line) if info is not None else ""
+    return finding.fingerprint(root=root, line_text=line_text)
+
+
+def save_baseline(
+    path: "str | os.PathLike",
+    result: LintResult,
+    project_root: "str | os.PathLike | None" = None,
+) -> int:
+    """Write the findings of ``result`` as an accepted baseline; returns count."""
+    root = Path(project_root) if project_root is not None else Path(os.getcwd())
+    by_path: dict[str, ModuleInfo] = {}
+    fingerprints = []
+    for finding in result.findings:
+        if finding.path not in by_path and os.path.exists(finding.path):
+            by_path[finding.path] = ModuleInfo.from_path(finding.path)
+        fingerprints.append(_fingerprint_of(finding, root, by_path))
+    payload = {"version": 1, "fingerprints": sorted(set(fingerprints))}
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return len(payload["fingerprints"])
+
+
+def load_baseline(path: "str | os.PathLike") -> list[str]:
+    payload: Any = json.loads(Path(path).read_text(encoding="utf-8"))
+    if not isinstance(payload, dict) or "fingerprints" not in payload:
+        raise ValueError(f"not a lint baseline file: {path}")
+    return list(payload["fingerprints"])

@@ -161,12 +161,14 @@ class HTTPServer:
         self, writer, status: int, payload: dict, extra: dict,
         keep_alive: bool,
     ) -> None:
+        # Payloads are protocol-encoded (jsonable/encode_*) before here.
+        # repro: allow[wire-purity] single transport serialization point
         body = json.dumps(payload).encode("utf-8")
         reason = _REASONS.get(status, "OK")
         connection = "keep-alive" if keep_alive else "close"
         head = (
             f"HTTP/1.1 {status} {reason}\r\n"
-            f"Content-Type: application/json\r\n"
+            "Content-Type: application/json\r\n"
             f"Content-Length: {len(body)}\r\n"
             f"Connection: {connection}\r\n"
         )

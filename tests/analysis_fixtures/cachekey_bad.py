@@ -1,0 +1,17 @@
+# module: repro.fake.keys
+"""Fixture: plan-level options and float keys leak into cache keys."""
+
+
+def freeze(value):
+    return value
+
+
+def solve_cache_key(model, query, **options):
+    return (model, query, tuple(sorted(options.items())))
+
+
+def build(model, query, budget):
+    key = solve_cache_key(model, query, approx_budget=budget)
+    frozen = freeze({"optimize": True})
+    fragile = freeze({0.5: "half"})
+    return key, frozen, fragile

@@ -1,0 +1,17 @@
+# module: repro.fake.keys
+"""Fixture: plan-level options popped before key construction (clean)."""
+
+
+def freeze(value):
+    return value
+
+
+def solve_cache_key(model, query, options):
+    return (model, query, freeze(options))
+
+
+def build(model, query, options):
+    options = dict(options)
+    options.pop("approx_budget", None)
+    options.pop("optimize", None)
+    return solve_cache_key(model, query, options)

@@ -1,0 +1,8 @@
+# module: repro.fake.bench
+"""Fixture: docstring cites a stale value for the module constant.
+
+Each repetition runs under a 5-second cap (``TIME_BUDGET``), mirroring
+the bench_fig06 drift this rule exists to catch.
+"""
+
+TIME_BUDGET = 3.0

@@ -1,0 +1,8 @@
+# module: repro.fake.bench
+"""Fixture: docstring numbers match the constant they cite.
+
+Each repetition runs under a 3-second cap (``TIME_BUDGET``); see
+Section 6.2 of the paper and Figure 6 for the measured curves.
+"""
+
+TIME_BUDGET = 3.0

@@ -1,0 +1,19 @@
+# module: repro.server.fake_metrics
+"""Fixture: unlocked counter write + blocking sleep in an async body."""
+
+import threading
+import time
+
+
+class Counter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.hits = 0
+
+    def record(self):
+        self.hits += 1
+
+
+async def poll():
+    time.sleep(0.1)
+    return True

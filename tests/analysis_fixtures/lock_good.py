@@ -1,0 +1,30 @@
+# module: repro.server.fake_metrics
+"""Fixture: writes under the lock; blocking work stays in sync helpers."""
+
+import asyncio
+import threading
+import time
+
+
+class Counter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.hits = 0
+
+    def record(self):
+        with self._lock:
+            self.hits += 1
+
+    def snapshot(self):
+        with self._lock:
+            return self.hits
+
+
+def _blocking_wait():
+    time.sleep(0.1)
+
+
+async def poll():
+    loop = asyncio.get_running_loop()
+    await loop.run_in_executor(None, _blocking_wait)
+    return True

@@ -1,0 +1,11 @@
+# module: repro.fake.sampler
+"""Fixture: global-random-state draws (rng-discipline must flag all three)."""
+
+import numpy as np
+from random import choice
+
+
+def sample(n):
+    np.random.seed(0)
+    values = np.random.rand(n)
+    return values, choice([1, 2, 3])

@@ -1,0 +1,13 @@
+# module: repro.fake.sampler
+"""Fixture: explicit seeded Generator threading (rng-discipline clean)."""
+
+import numpy as np
+
+
+def sample(n, rng=None):
+    rng = np.random.default_rng(0) if rng is None else rng
+    return rng.random(n)
+
+
+def entry(seed):
+    return sample(4, rng=np.random.default_rng(seed))

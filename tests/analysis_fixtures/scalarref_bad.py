@@ -1,0 +1,9 @@
+# module: repro.fake.kernel
+"""Fixture: vectorized= accepted but never routed; module untested."""
+
+
+def solve(table, vectorized=True):
+    total = 0.0
+    for row in table:
+        total += row
+    return total

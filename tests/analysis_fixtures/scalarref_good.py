@@ -1,0 +1,24 @@
+# module: repro.fake.kernel
+# test-imports: repro.fake.kernel
+"""Fixture: vectorized= routes to a scalar branch; module test-imported."""
+
+
+def _solve_scalar(table):
+    total = 0.0
+    for row in table:
+        total += row
+    return total
+
+
+def _solve_vectorized(table):
+    return sum(table)
+
+
+def solve(table, vectorized=True):
+    if vectorized:
+        return _solve_vectorized(table)
+    return _solve_scalar(table)
+
+
+def delegate(table, vectorized=True):
+    return solve(table, vectorized=vectorized)

@@ -1,0 +1,8 @@
+# module: repro.server.fake_http
+"""Fixture: ad-hoc json.dumps on a server path (wire-purity must flag)."""
+
+import json
+
+
+def render(payload):
+    return json.dumps(payload).encode("utf-8")

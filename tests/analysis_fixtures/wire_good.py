@@ -1,0 +1,12 @@
+# module: repro.server.protocol
+"""Fixture: json.dumps is fine inside repro.server.protocol itself."""
+
+import json
+
+
+def jsonable(payload):
+    return payload
+
+
+def render(payload):
+    return json.dumps(jsonable(payload)).encode("utf-8")
