@@ -10,7 +10,6 @@ reports their runtimes; the optimized variants must not be substantially
 slower and are typically much faster.
 """
 
-import pytest
 
 from repro.datasets.benchmarks import benchmark_a, benchmark_c, benchmark_d
 from repro.evaluation.experiments_exact import ExperimentResult

@@ -9,8 +9,6 @@ Scaled reproduction: 8-12 candidates (the exact solvers are exponential;
 the ordering and the accuracy profile are scale-invariant).
 """
 
-import numpy as np
-
 from repro.datasets.polls import polls_database
 from repro.evaluation.experiments import FIG4_QUERY, accuracy_table, figure_4
 from repro.query.compile import labeling_for_patterns

@@ -42,7 +42,7 @@ def movielens_demo() -> None:
     print(f"  {query}")
     print(
         f"  non-itemwise: V+ = {sorted(v.name for v in analysis.groundable)} "
-        f"(grounded over the genres present in the catalog)"
+        "(grounded over the genres present in the catalog)"
     )
     rng = np.random.default_rng(14)
     started = time.perf_counter()

@@ -41,8 +41,8 @@ from repro.kernels import (
     union_satisfied_many,
 )
 from repro.patterns import (
-    Labeling,
     LabelPattern,
+    Labeling,
     PatternNode,
     PatternUnion,
     matches,
@@ -50,7 +50,7 @@ from repro.patterns import (
     pattern_conjunction,
 )
 from repro.rankings import PartialOrder, Ranking, SubRanking, kendall_tau
-from repro.rim import RIM, AMPSampler, Mallows, MallowsMixture
+from repro.rim import AMPSampler, Mallows, MallowsMixture, RIM
 from repro.service import PersistentSolverCache, SolverCache
 from repro.service.service import BatchResult, PreferenceService
 from repro.solvers import (

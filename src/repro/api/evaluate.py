@@ -147,8 +147,8 @@ def answer_many(
         if parallelism_requested(backend, effective_backend, max_workers):
             warnings.warn(
                 f"approximate method {method!r} is rng-driven and runs "
-                f"sequentially; the requested parallelism "
-                f"(max_workers/backend) is ignored",
+                "sequentially; the requested parallelism "
+                "(max_workers/backend) is ignored",
                 UserWarning,
                 stacklevel=2,
             )

@@ -19,12 +19,12 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.approx.modals import greedy_modals
 from repro.kernels.sampling import reindex_positions
 from repro.rankings.permutation import Ranking
 from repro.rankings.subranking import SubRanking
 from repro.rim.amp import AMPSampler
 from repro.rim.mallows import Mallows
-from repro.approx.modals import greedy_modals
 
 
 @dataclass(frozen=True)

@@ -8,6 +8,19 @@ scalability experiments (Figures 9-15, the Section 6.2 accuracy table) in
 benchmark suite prints via :func:`repro.evaluation.harness.format_table`.
 """
 
+from repro.evaluation.experiments_approx import (
+    FIG14_QUERY,
+    FIG15_QUERY,
+    accuracy_table,
+    figure_10,
+    figure_11,
+    figure_12,
+    figure_13a,
+    figure_13b,
+    figure_14,
+    figure_15,
+    figure_9,
+)
 from repro.evaluation.experiments_exact import (
     ExperimentResult,
     FIG4_QUERY,
@@ -18,19 +31,6 @@ from repro.evaluation.experiments_exact import (
     figure_7a,
     figure_7b,
     figure_8,
-)
-from repro.evaluation.experiments_approx import (
-    FIG14_QUERY,
-    FIG15_QUERY,
-    accuracy_table,
-    figure_9,
-    figure_10,
-    figure_11,
-    figure_12,
-    figure_13a,
-    figure_13b,
-    figure_14,
-    figure_15,
 )
 
 __all__ = [

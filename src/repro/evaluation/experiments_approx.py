@@ -7,7 +7,6 @@ scalability) of the paper.
 
 from __future__ import annotations
 
-import time
 from typing import Sequence
 
 import numpy as np
@@ -18,7 +17,7 @@ from repro.datasets.benchmarks import benchmark_a, benchmark_b, benchmark_c
 from repro.datasets.crowdrank import crowdrank_database
 from repro.datasets.movielens import movielens_database
 from repro.datasets.polls import polls_database
-from repro.evaluation.experiments_exact import FIG4_QUERY, ExperimentResult
+from repro.evaluation.experiments_exact import ExperimentResult, FIG4_QUERY
 from repro.evaluation.harness import Timer, percentile, relative_error
 from repro.kernels.predicates import subranking_predicate
 from repro.patterns.labels import Labeling

@@ -9,7 +9,6 @@ paper — see EXPERIMENTS.md.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Sequence
 
@@ -21,9 +20,8 @@ from repro.datasets.polls import polls_database
 from repro.evaluation.harness import Timer, percentile, relative_error
 from repro.patterns.pattern import pattern_conjunction
 from repro.query.aggregates import most_probable_session
-from repro.query.classify import analyze
 from repro.query.compile import labeling_for_patterns
-from repro.query.engine import compile_session_work, solve_session
+from repro.query.engine import compile_session_work
 from repro.query.parser import parse_query
 from repro.solvers.base import SolverTimeout
 from repro.solvers.bipartite import bipartite_probability

@@ -593,10 +593,10 @@ def bipartite_pruned_engine(
             if uncertain is None:
                 continue
             for e in sorted(uncertain):
-                l, r = pattern_edges[p_index][e]
-                mask[l] = True
+                left, r = pattern_edges[p_index][e]
+                mask[left] = True
                 mask[n_left + r] = True
-                edge_list.append((p_index, e, l, r))
+                edge_list.append((p_index, e, left, r))
         tracked_masks.append(mask)
         edge_lists.append(edge_list)
         return sid
@@ -615,10 +615,10 @@ def bipartite_pruned_engine(
             still_uncertain: list[int] = []
             violated = False
             for e in sorted(uncertain):
-                l, r = pattern_edges[p_index][e]
+                left, r = pattern_edges[p_index][e]
                 if sat[(p_index, e)]:
                     continue  # edge satisfied forever
-                if last_left[l] <= step and last_right[r] <= step:
+                if last_left[left] <= step and last_right[r] <= step:
                     violated = True  # both labels closed, never satisfied
                     break
                 still_uncertain.append(e)

@@ -8,9 +8,9 @@ patterns, and the embedding semantics ``(tau, lambda) |= g``.
 from repro.patterns.labels import Labeling
 from repro.patterns.matching import (
     find_embedding,
+    match_served_sequence,
     matches,
     matches_union,
-    match_served_sequence,
 )
 from repro.patterns.pattern import LabelPattern, PatternNode, pattern_conjunction
 from repro.patterns.union import PatternUnion

@@ -30,10 +30,6 @@ from typing import Any, Sequence
 
 from repro.patterns.labels import Labeling
 from repro.patterns.union import PatternUnion
-from repro.query.ast import ConjunctiveQuery
-from repro.query.classify import analyze
-from repro.query.compile import labeling_for_patterns
-from repro.query.engine import compile_session_work
 from repro.plan.nodes import (
     AggregateSessionsNode,
     AttributeAggregateNode,
@@ -47,6 +43,10 @@ from repro.plan.nodes import (
     TerminalNode,
     TopKSessionsNode,
 )
+from repro.query.ast import ConjunctiveQuery
+from repro.query.classify import analyze
+from repro.query.compile import labeling_for_patterns
+from repro.query.engine import compile_session_work
 
 
 def _normalize_requests(queries) -> list:

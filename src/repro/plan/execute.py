@@ -466,9 +466,9 @@ def classify_executed_items(
         if resolved is None:
             raise ValueError(
                 f"solve #{solve_id} was never executed — it was pruned by "
-                f"an upper-bound top-k terminal; assemble such plans with "
-                f"repro.api.assemble_answers, which reads the terminal "
-                f"outcomes instead of the solve frontier"
+                "an upper-bound top-k terminal; assemble such plans with "
+                "repro.api.assemble_answers, which reads the terminal "
+                "outcomes instead of the solve frontier"
             )
         probability, solver_name = resolved
         group_keys.add(plan.nodes[solve_id].group_key)

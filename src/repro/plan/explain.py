@@ -114,7 +114,7 @@ def _terminal_line(terminal: TerminalNode, execution) -> str:
     n_sessions = len(terminal.items)
     if isinstance(terminal, CountSessionsNode):
         return (
-            f"  CountSessions  E[count(Q)] = sum(p_s)"
+            "  CountSessions  E[count(Q)] = sum(p_s)"
             f" over {n_sessions} sessions"
         )
     if isinstance(terminal, TopKSessionsNode):
@@ -140,7 +140,7 @@ def _terminal_line(terminal: TerminalNode, execution) -> str:
             f" n_worlds={terminal.n_worlds} over {n_sessions} sessions"
         )
     return (
-        f"  AggregateSessions  Pr(Q|D) = 1 - prod(1 - p_s)"
+        "  AggregateSessions  Pr(Q|D) = 1 - prod(1 - p_s)"
         f" over {n_sessions} sessions"
     )
 

@@ -49,7 +49,7 @@ from repro.plan.methods import (
     cost_based_choice,
     resolve_solve_method,
 )
-from repro.plan.nodes import CompileUnionNode, QueryPlan, SolveNode
+from repro.plan.nodes import CompileUnionNode, QueryPlan
 from repro.service.keys import request_fingerprint, session_cache_key
 from repro.service.planner import estimate_solve_states, largest_first_order
 

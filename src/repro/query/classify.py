@@ -30,12 +30,9 @@ from typing import Hashable
 from repro.query.ast import (
     Comparison,
     ConjunctiveQuery,
-    Constant,
     OAtom,
     Variable,
-    is_constant,
     is_variable,
-    is_wildcard,
 )
 
 

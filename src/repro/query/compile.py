@@ -125,7 +125,7 @@ def compile_itemwise(
         analysis = analyze(query, db)
     if analysis.groundable:
         raise UnsupportedQueryError(
-            f"query is not itemwise; ground V+ = "
+            "query is not itemwise; ground V+ = "
             f"{sorted(v.name for v in analysis.groundable)} first (Algorithm 2)"
         )
 

@@ -15,7 +15,7 @@ import itertools
 from typing import Hashable, Iterator
 
 from repro.db.database import _compare
-from repro.query.ast import ConjunctiveQuery, Variable, is_variable
+from repro.query.ast import ConjunctiveQuery, Variable
 from repro.query.classify import QueryAnalysis, UnsupportedQueryError, analyze
 
 

@@ -7,13 +7,13 @@ Mallows model.
 """
 
 from repro.rankings.kendall import (
+    concordant_pairs,
+    discordant_pairs,
     kendall_tau,
     kendall_tau_naive,
-    discordant_pairs,
-    concordant_pairs,
     subranking_distance,
 )
-from repro.rankings.partial_order import PartialOrder, CyclicOrderError
+from repro.rankings.partial_order import CyclicOrderError, PartialOrder
 from repro.rankings.permutation import Ranking
 from repro.rankings.subranking import SubRanking
 

@@ -14,7 +14,7 @@ Two implementations are provided:
 
 from __future__ import annotations
 
-from typing import Hashable, Iterable, Sequence
+from typing import Hashable, Sequence
 
 Item = Hashable
 

@@ -245,7 +245,7 @@ class RIM:
         if self.m > max_items:
             raise ValueError(
                 f"refusing to enumerate {self.m}! rankings; "
-                f"raise max_items explicitly if intended"
+                "raise max_items explicitly if intended"
             )
 
         def expand(

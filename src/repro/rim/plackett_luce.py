@@ -100,7 +100,7 @@ class PlackettLuce:
         if self.m > max_items:
             raise ValueError(
                 f"refusing to enumerate {self.m}! rankings; "
-                f"raise max_items explicitly if intended"
+                "raise max_items explicitly if intended"
             )
         for tau in Ranking.all_rankings(self._items):
             yield tau, self.probability(tau)

@@ -59,7 +59,7 @@ class ServerConfig:
         if self.dataset not in ("crowdrank", "polls"):
             raise ValueError(
                 f"unknown dataset {self.dataset!r}; "
-                f"expected 'crowdrank' or 'polls'"
+                "expected 'crowdrank' or 'polls'"
             )
 
     def build_database(self):

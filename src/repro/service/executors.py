@@ -352,5 +352,5 @@ def resolve_backend(
         return ProcessBackend(max_workers)
     raise ValueError(
         f"unknown backend {name!r}; expected one of {BACKENDS} "
-        f"or an ExecutionBackend instance"
+        "or an ExecutionBackend instance"
     )

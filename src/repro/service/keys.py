@@ -41,7 +41,7 @@ def freeze_model(model) -> tuple:
     if freeze is None:
         raise TypeError(
             f"{type(model).__name__} has no freeze() hook; models must be "
-            f"cacheable (RIM, Mallows, MallowsMixture) to use the solver cache"
+            "cacheable (RIM, Mallows, MallowsMixture) to use the solver cache"
         )
     return freeze()
 

@@ -185,7 +185,7 @@ class PersistentCache:
         for key, value in items:
             if not _persistable(value):
                 raise TypeError(
-                    f"persistent cache stores (probability, solver) pairs, "
+                    "persistent cache stores (probability, solver) pairs, "
                     f"got {value!r}"
                 )
             rows.append((encode_key(key), float(value[0]), value[1]))

@@ -185,7 +185,7 @@ class PreferenceService:
         request = as_request(query)
         if not isinstance(request, Probability):
             raise TypeError(
-                f"evaluate() serves Boolean probability queries; use "
+                "evaluate() serves Boolean probability queries; use "
                 f"answer() / answer_many() for {request.kind!r} requests"
             )
         return request.query
@@ -298,8 +298,8 @@ class PreferenceService:
             ):
                 warnings.warn(
                     f"approximate method {method!r} is rng-driven and runs "
-                    f"sequentially; the requested parallelism "
-                    f"(max_workers/backend) is ignored",
+                    "sequentially; the requested parallelism "
+                    "(max_workers/backend) is ignored",
                     UserWarning,
                     stacklevel=2,
                 )

@@ -320,8 +320,8 @@ def _pruned_dp(
             if unc is _VIOLATED:
                 continue
             for e in unc:
-                l, r = pattern_edges[p_index][e]
-                ls.add(l)
+                left, r = pattern_edges[p_index][e]
+                ls.add(left)
                 rs.add(r)
         return tuple(sorted(ls)), tuple(sorted(rs))
 
@@ -468,12 +468,12 @@ def _advance_status(
         still_uncertain: list[int] = []
         violated = False
         for e in unc:
-            l, r = edges[e]
-            a = new_l[l]
+            left, r = edges[e]
+            a = new_l[left]
             b = new_r[r]
             if a is not None and b is not None and a < b:
                 continue  # edge satisfied forever
-            if last_left[l] <= step and last_right[r] <= step:
+            if last_left[left] <= step and last_right[r] <= step:
                 violated = True  # both labels closed, never satisfied
                 break
             still_uncertain.append(e)

@@ -25,7 +25,6 @@ from repro.query.aggregates import (
     count_session,
     most_probable_session,
 )
-from repro.query.ast import ConjunctiveQuery
 from repro.query.engine import evaluate
 from repro.query.parser import QuerySyntaxError, parse_query
 from repro.service.service import BatchResult, PreferenceService
@@ -170,7 +169,7 @@ class TestParserPositions:
         assert info.value.offset == 14
 
     def test_prefixed_offsets_are_relative_to_full_text(self):
-        text = f"COUNT P(_; a; )"
+        text = "COUNT P(_; a; )"
         with pytest.raises(QuerySyntaxError) as info:
             parse_request(text)
         error = info.value

@@ -4,7 +4,6 @@ import pytest
 
 from repro.approx.decompose import (
     DecompositionLimitError,
-    embedding_partial_order,
     pattern_embeddings,
     pattern_partial_orders,
     union_partial_orders,

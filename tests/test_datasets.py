@@ -1,7 +1,6 @@
 """Tests for the benchmark and database generators (Section 6.1)."""
 
 import numpy as np
-import pytest
 
 from repro.datasets.benchmarks import (
     benchmark_a,

@@ -23,8 +23,8 @@ import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.datasets.benchmarks import benchmark_a, benchmark_c, benchmark_d
-from repro.kernels.dp import merge_states, scalar_gap_segments, sequential_sum
 from repro.kernels import jit as jit_module
+from repro.kernels.dp import merge_states, scalar_gap_segments, sequential_sum
 from repro.patterns.labels import Labeling
 from repro.patterns.pattern import LabelPattern, PatternNode
 from repro.patterns.union import PatternUnion

@@ -7,21 +7,19 @@ invariants the benchmarks assert at larger scale.
 
 import math
 
-import pytest
-
 from repro.evaluation.experiments import (
     accuracy_table,
+    figure_10,
+    figure_12,
+    figure_13a,
+    figure_14,
+    figure_15,
     figure_4,
     figure_5,
     figure_6,
     figure_7a,
     figure_8,
     figure_9,
-    figure_10,
-    figure_12,
-    figure_13a,
-    figure_14,
-    figure_15,
 )
 
 

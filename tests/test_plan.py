@@ -37,7 +37,6 @@ from repro.plan import (
     simplify_unions,
 )
 from repro.plan.execute import assemble_results
-from repro.plan.nodes import SolveNode
 from repro.query.engine import evaluate
 from repro.query.parser import parse_query
 from repro.service.cache import SolverCache

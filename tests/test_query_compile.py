@@ -4,7 +4,7 @@ import pytest
 
 from repro.db.examples import polling_example
 from repro.patterns.matching import matches
-from repro.query.classify import UnsupportedQueryError, analyze
+from repro.query.classify import UnsupportedQueryError
 from repro.query.compile import (
     ConditionLabel,
     IdentityLabel,

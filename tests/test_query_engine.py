@@ -9,11 +9,11 @@ import pytest
 
 from repro.db.examples import polling_example
 from repro.query.aggregates import count_session, most_probable_session
+from repro.query.ast import Variable
 from repro.query.classify import analyze
 from repro.query.engine import compile_session_work, evaluate
 from repro.query.ground import decompose_query, variable_domain
 from repro.query.parser import parse_query
-from repro.query.ast import Variable
 
 
 @pytest.fixture

@@ -3,9 +3,9 @@
 import numpy as np
 import pytest
 
-from repro.db.examples import polling_example
 from repro.datasets.crowdrank import crowdrank_database
-from repro.query.engine import compile_session_work, evaluate, solve_session
+from repro.db.examples import polling_example
+from repro.query.engine import evaluate, solve_session
 from repro.query.parser import parse_query
 
 

@@ -1,7 +1,5 @@
 """Tests for partial orders: closure, extensions, consistency."""
 
-import math
-
 import pytest
 from hypothesis import given, settings, strategies as st
 

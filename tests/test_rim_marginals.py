@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.rankings.permutation import Ranking
 from repro.rim.mallows import Mallows
 from repro.rim.marginals import (
     expected_rank,

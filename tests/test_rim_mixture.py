@@ -2,11 +2,10 @@
 
 import math
 
-import numpy as np
 import pytest
 
-from repro.db.schema import ORelation, PRelation
 from repro.db.database import PPDatabase
+from repro.db.schema import ORelation, PRelation
 from repro.patterns.labels import Labeling
 from repro.patterns.pattern import LabelPattern, node
 from repro.query import evaluate, parse_query

@@ -13,7 +13,6 @@ import json
 import pytest
 
 from repro.api.evaluate import answer
-from repro.db.examples import polling_example
 from repro.server.app import ServerApp
 from repro.server.config import ServerConfig
 from repro.server.http import run_server

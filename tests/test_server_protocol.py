@@ -15,9 +15,6 @@ import string
 
 import pytest
 
-hypothesis = pytest.importorskip("hypothesis")
-from hypothesis import given, settings, strategies as st
-
 from repro.api.answer import Answer, BatchAnswer
 from repro.api.requests import (
     AGGREGATE_STATISTICS,
@@ -46,6 +43,9 @@ from repro.server.protocol import (
     jsonable,
     validate_options,
 )
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st  # noqa: E402
 
 # ----------------------------------------------------------------------
 # Strategies: arbitrary well-formed requests

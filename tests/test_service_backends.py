@@ -14,8 +14,7 @@ import pytest
 
 from repro.datasets.crowdrank import crowdrank_database
 from repro.db.database import PPDatabase
-from repro.db.examples import polling_example
-from repro.db.schema import ORelation, PRelation
+from repro.db.schema import PRelation
 from repro.patterns.labels import Labeling
 from repro.patterns.pattern import LabelPattern, PatternNode, chain_pattern
 from repro.patterns.union import PatternUnion
@@ -29,7 +28,6 @@ from repro.service.cache import SolverCache
 from repro.service.executors import (
     ProcessBackend,
     SerialBackend,
-    SolveTask,
     ThreadBackend,
     make_solve_task,
     resolve_backend,

@@ -1,7 +1,5 @@
 """Hypothesis property tests on the solver layer's core invariants."""
 
-import random
-
 import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
