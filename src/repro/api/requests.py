@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass
+from typing import ClassVar
 
 from repro.query.ast import ConjunctiveQuery
 from repro.query.parser import QuerySyntaxError, parse_query
@@ -61,9 +62,9 @@ class QueryRequest:
 
     query: ConjunctiveQuery
 
-    kind = "?"
+    kind: ClassVar[str] = "?"
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         self.query = _as_query(self.query)
 
     def describe(self) -> str:
@@ -75,14 +76,14 @@ class QueryRequest:
 class Probability(QueryRequest):
     """``Pr(Q | D)``: the Boolean CQ probability of Section 3.1."""
 
-    kind = "probability"
+    kind: ClassVar[str] = "probability"
 
 
 @dataclass
 class Count(QueryRequest):
     """``E[count(Q)]``: the expected number of satisfying sessions."""
 
-    kind = "count"
+    kind: ClassVar[str] = "count"
 
     def describe(self) -> str:
         return f"COUNT {self.query}"
@@ -103,9 +104,9 @@ class TopK(QueryRequest):
     strategy: str = "upper_bound"
     n_edges: int = 1
 
-    kind = "top_k"
+    kind: ClassVar[str] = "top_k"
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         super().__post_init__()
         if self.k < 1:
             raise ValueError("k must be at least 1")
@@ -132,9 +133,9 @@ class Aggregate(QueryRequest):
     statistic: str = "mean"
     n_worlds: int = 10_000
 
-    kind = "aggregate"
+    kind: ClassVar[str] = "aggregate"
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         super().__post_init__()
         if not self.relation or not self.column:
             raise ValueError("Aggregate requires a relation and a column")

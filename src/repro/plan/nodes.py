@@ -45,17 +45,20 @@ pre-plan evaluate path.  See DESIGN.md, "The query planner".
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Hashable
+from typing import Any, ClassVar, Hashable, Sequence, TYPE_CHECKING, cast
 
 from repro.patterns.labels import Labeling
 from repro.patterns.union import PatternUnion
 from repro.plan.methods import (
-    APPROX_BUDGET_OPTION,
     APPROXIMATE_METHODS,
+    APPROX_BUDGET_OPTION,
     DEFAULT_APPROX_BUDGET,
 )
 from repro.query.ast import ConjunctiveQuery
 from repro.query.engine import SessionKey
+
+if TYPE_CHECKING:
+    from repro.api.requests import QueryRequest
 
 
 @dataclass
@@ -68,7 +71,7 @@ class PlanNode:
     #: eliminated counts); rendered verbatim by ``explain()``.
     annotations: dict[str, Any] = field(default_factory=dict)
 
-    kind = "node"
+    kind: ClassVar[str] = "node"
 
 
 @dataclass
@@ -80,7 +83,7 @@ class SelectSessionsNode(PlanNode):
     n_candidates: int = 0
     n_selected: int = 0
 
-    kind = "select_sessions"
+    kind: ClassVar[str] = "select_sessions"
 
 
 @dataclass
@@ -91,7 +94,7 @@ class GroundSessionsNode(PlanNode):
     n_satisfiable: int = 0
     n_unsatisfiable: int = 0
 
-    kind = "ground_sessions"
+    kind: ClassVar[str] = "ground_sessions"
 
 
 @dataclass
@@ -102,7 +105,7 @@ class CompileUnionNode(PlanNode):
     union: PatternUnion | None = None
     n_sessions: int = 0
 
-    kind = "compile_union"
+    kind: ClassVar[str] = "compile_union"
 
     @property
     def z(self) -> int:
@@ -135,9 +138,9 @@ class SolveNode(PlanNode):
     cache_key: Hashable | None = None
     #: (labeling_form, union_form, method, options) — memoized canonical
     #: request fingerprint, shared with cache keys and SolveTask transport.
-    fingerprint: tuple | None = None
+    fingerprint: tuple[Any, ...] | None = None
 
-    kind = "solve"
+    kind: ClassVar[str] = "solve"
 
     @property
     def identity_key(self) -> Hashable:
@@ -174,7 +177,7 @@ class TerminalNode(PlanNode):
     #: (session_key, solve node id | None), in session-selection order.
     items: list[tuple[SessionKey, int | None]] = field(default_factory=list)
 
-    kind = "terminal"
+    kind: ClassVar[str] = "terminal"
 
     def solve_ids(self) -> list[int]:
         """Distinct solve-node ids this request consumes, first-use order."""
@@ -195,14 +198,14 @@ class AggregateSessionsNode(TerminalNode):
     """Independent-session aggregation of one Boolean query:
     ``Pr(Q | D) = 1 - prod_i (1 - Pr(Q | s_i))``."""
 
-    kind = "aggregate_sessions"
+    kind: ClassVar[str] = "aggregate_sessions"
 
 
 @dataclass
 class CountSessionsNode(TerminalNode):
     """Count-Session terminal: ``E[count(Q)] = sum_i Pr(Q | s_i)``."""
 
-    kind = "count_sessions"
+    kind: ClassVar[str] = "count_sessions"
 
 
 @dataclass
@@ -222,7 +225,7 @@ class TopKSessionsNode(TerminalNode):
     strategy: str = "upper_bound"
     n_edges: int = 1
 
-    kind = "top_k_sessions"
+    kind: ClassVar[str] = "top_k_sessions"
 
     @property
     def lazy(self) -> bool:
@@ -245,9 +248,9 @@ class AttributeAggregateNode(TerminalNode):
     statistic: str = "mean"
     n_worlds: int = 10_000
     #: session key -> attribute value, for every key in ``items``.
-    values: dict = field(default_factory=dict)
+    values: dict[SessionKey, float] = field(default_factory=dict)
 
-    kind = "attribute_aggregate"
+    kind: ClassVar[str] = "attribute_aggregate"
 
 
 @dataclass
@@ -256,7 +259,7 @@ class CombineQueriesNode(PlanNode):
 
     n_queries: int = 0
 
-    kind = "combine_queries"
+    kind: ClassVar[str] = "combine_queries"
 
 
 class QueryPlan:
@@ -279,13 +282,13 @@ class QueryPlan:
 
     def __init__(
         self,
-        db,
-        requests: list,
+        db: Any,
+        requests: list[QueryRequest],
         method: str = "auto",
         options: dict[str, Any] | None = None,
         group_sessions: bool = True,
         session_limit: int | None = None,
-    ):
+    ) -> None:
         self.db = db
         self.requests = requests
         self.queries: list[ConjunctiveQuery] = [
@@ -343,11 +346,11 @@ class QueryPlan:
 
     def solves(self) -> list[SolveNode]:
         """The surviving solve frontier, in execution order."""
-        return [self.nodes[node_id] for node_id in self.solve_order]
+        return [cast(SolveNode, self.nodes[node_id]) for node_id in self.solve_order]
 
     def aggregate_nodes(self) -> list[TerminalNode]:
         """The per-request terminal nodes, in request order."""
-        return [self.nodes[node_id] for node_id in self.aggregates]
+        return [cast(TerminalNode, self.nodes[node_id]) for node_id in self.aggregates]
 
     #: Alias reflecting the unified-API vocabulary.
     terminal_nodes = aggregate_nodes
@@ -364,23 +367,27 @@ class QueryPlan:
     # Delegating conveniences
     # ------------------------------------------------------------------
 
-    def optimize(self, passes=None, canonical: bool | None = None) -> "QueryPlan":
+    def optimize(
+        self, passes: Sequence[Any] | None = None, canonical: bool | None = None
+    ) -> "QueryPlan":
         """Apply the default (or given) pass pipeline in place."""
         from repro.plan.passes import optimize_plan
 
-        return optimize_plan(self, passes=passes, canonical=canonical)
+        optimized: QueryPlan = optimize_plan(self, passes=passes, canonical=canonical)
+        return optimized
 
-    def execute(self, **kwargs):
+    def execute(self, **kwargs: Any) -> Any:
         """Run the plan; see :func:`repro.plan.execute.execute_plan`."""
         from repro.plan.execute import execute_plan
 
         return execute_plan(self, **kwargs)
 
-    def explain(self, execution=None) -> str:
+    def explain(self, execution: Any = None) -> str:
         """Render the plan DAG with per-node cost annotations."""
         from repro.plan.explain import explain_plan
 
-        return explain_plan(self, execution=execution)
+        rendered: str = explain_plan(self, execution=execution)
+        return rendered
 
     def __repr__(self) -> str:
         return (

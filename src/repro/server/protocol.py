@@ -32,20 +32,20 @@ from repro.api.requests import (
     TopK,
     parse_request,
 )
-from repro.query.parser import QuerySyntaxError
+from repro.query.parser import QuerySyntaxError, parse_query
 
 #: Evaluation options a request body may carry next to the request itself.
 OPTION_FIELDS = ("method", "approx_budget", "session_limit")
 
 #: Typed-form fields, per kind, beyond the common ``query``.
-KIND_FIELDS = {
+KIND_FIELDS: dict[str, tuple[str, ...]] = {
     "probability": (),
     "count": (),
     "top_k": ("k", "strategy", "n_edges"),
     "aggregate": ("relation", "column", "statistic", "n_worlds"),
 }
 
-_KIND_CLASSES = {
+_KIND_CLASSES: dict[str, type[QueryRequest]] = {
     "probability": Probability,
     "count": Count,
     "top_k": TopK,
@@ -56,7 +56,7 @@ _KIND_CLASSES = {
 class ProtocolError(ValueError):
     """A malformed or rejected request body, rendered as an HTTP 4xx."""
 
-    def __init__(self, message: str, status: int = 400):
+    def __init__(self, message: str, status: int = 400) -> None:
         super().__init__(message)
         self.status = status
 
@@ -71,7 +71,7 @@ def known_methods() -> tuple[str, ...]:
     )
 
 
-def validate_options(options: dict) -> dict:
+def validate_options(options: dict[str, Any]) -> dict[str, Any]:
     """Check the evaluation options of a body; returns them normalized.
 
     ``method="auto-approx"`` without an explicit ``approx_budget`` is
@@ -108,7 +108,7 @@ def validate_options(options: dict) -> dict:
     return options
 
 
-def _extract_options(body: dict) -> dict:
+def _extract_options(body: dict[str, Any]) -> dict[str, Any]:
     return validate_options(
         {
             name: body[name]
@@ -118,7 +118,7 @@ def _extract_options(body: dict) -> dict:
     )
 
 
-def decode_request(body: Any) -> tuple[QueryRequest, dict]:
+def decode_request(body: Any) -> tuple[QueryRequest, dict[str, Any]]:
     """A JSON body -> (typed request, evaluation options).
 
     Accepts the string form (``{"request": ...}``), the typed form
@@ -130,7 +130,7 @@ def decode_request(body: Any) -> tuple[QueryRequest, dict]:
         body = {"request": body}
     if not isinstance(body, dict):
         raise ProtocolError(
-            f"expected a JSON object request body, got "
+            "expected a JSON object request body, got "
             f"{type(body).__name__}"
         )
     options = _extract_options(body)
@@ -139,7 +139,7 @@ def decode_request(body: Any) -> tuple[QueryRequest, dict]:
         text = body["request"]
         if not isinstance(text, str):
             raise ProtocolError(
-                f"'request' must be request text, got "
+                "'request' must be request text, got "
                 f"{type(text).__name__}"
             )
         try:
@@ -165,9 +165,11 @@ def decode_request(body: Any) -> tuple[QueryRequest, dict]:
             if body.get(name) is not None
         }
         try:
-            return _KIND_CLASSES[kind](query, **fields), options
+            parsed = parse_query(query)
         except QuerySyntaxError as error:
             raise ProtocolError(f"invalid query text: {error}") from error
+        try:
+            return _KIND_CLASSES[kind](parsed, **fields), options
         except (TypeError, ValueError) as error:
             raise ProtocolError(f"invalid {kind!r} request: {error}") from error
 
@@ -177,7 +179,7 @@ def decode_request(body: Any) -> tuple[QueryRequest, dict]:
     )
 
 
-def decode_batch(body: Any) -> tuple[list[QueryRequest], dict]:
+def decode_batch(body: Any) -> tuple[list[QueryRequest], dict[str, Any]]:
     """An ``answer_many`` body -> (requests, batch-level options)."""
     if not isinstance(body, dict) or not isinstance(
         body.get("requests"), list
@@ -189,7 +191,7 @@ def decode_batch(body: Any) -> tuple[list[QueryRequest], dict]:
     if not body["requests"]:
         raise ProtocolError("'requests' must not be empty")
     options = _extract_options(body)
-    requests = []
+    requests: list[QueryRequest] = []
     for index, item in enumerate(body["requests"]):
         try:
             request, item_options = decode_request(item)
@@ -198,8 +200,8 @@ def decode_batch(body: Any) -> tuple[list[QueryRequest], dict]:
         if item_options:
             raise ProtocolError(
                 f"requests[{index}]: per-item options are not supported in "
-                f"a batch; pass method/approx_budget/session_limit at the "
-                f"batch level"
+                "a batch; pass method/approx_budget/session_limit at the "
+                "batch level"
             )
         requests.append(request)
     return requests, options
@@ -225,7 +227,7 @@ def jsonable(value: Any) -> Any:
     return repr(value)
 
 
-def encode_answer(answer) -> dict:
+def encode_answer(answer: Any) -> dict[str, Any]:
     """One :class:`~repro.api.answer.Answer` -> a JSON-safe dict."""
     return {
         "kind": answer.kind,
@@ -239,7 +241,7 @@ def encode_answer(answer) -> dict:
     }
 
 
-def encode_batch(batch) -> dict:
+def encode_batch(batch: Any) -> dict[str, Any]:
     """A :class:`~repro.api.answer.BatchAnswer` -> a JSON-safe dict."""
     return {
         "answers": [encode_answer(answer) for answer in batch.answers],
@@ -254,6 +256,6 @@ def encode_batch(batch) -> dict:
     }
 
 
-def error_body(message: str, status: int, **extra) -> dict:
+def error_body(message: str, status: int, **extra: Any) -> dict[str, Any]:
     """The uniform error envelope every non-2xx response carries."""
     return {"error": message, "status": status, **extra}
