@@ -47,7 +47,10 @@ from repro.rim.mallows import Mallows
 from repro.service import PreferenceService
 
 QUICK = os.environ.get("BENCH_BACKENDS_QUICK") == "1"
-N_MOVIES = 9 if QUICK else 12
+# 16 movies keeps the cold batch at a few seconds of real DP work now
+# that the array-compiled solver cores landed — enough for the process
+# bar to measure scaling rather than process-pool startup.
+N_MOVIES = 9 if QUICK else 16
 N_SESSIONS = 4 if QUICK else 8
 MIN_PROCESS_SPEEDUP = 2.0
 SEED = 20260730

@@ -161,14 +161,20 @@ def run_batch(args) -> int:
         if args.approx_budget is not None
         else {}
     )
-    service = PreferenceService(
-        cache_capacity=args.capacity,
-        method=args.method,
-        max_workers=args.workers,
-        backend=args.backend,
-        cache_db=args.cache_db,
-        **options,
-    )
+    try:
+        service = PreferenceService(
+            cache_capacity=args.capacity,
+            method=args.method,
+            max_workers=args.workers,
+            backend=args.backend,
+            cache_db=args.cache_db,
+            cache_shards=args.cache_shards,
+            shard_address=args.shard_address,
+            **options,
+        )
+    except ValueError as error:
+        print(f"cannot build service: {error}", file=sys.stderr)
+        return 2
     # Sampling methods need an rng (and bypass the cache — the passes then
     # report their per-query solve counts instead of cache hits), and so
     # does auto-approx whenever its MIS-AMP fallback triggers.
@@ -192,6 +198,10 @@ def run_batch(args) -> int:
             ]
         )
     tier = f", cache_db={args.cache_db}" if args.cache_db else ""
+    if args.cache_shards is not None:
+        tier += f", cache_shards={args.cache_shards}"
+    if args.shard_address is not None:
+        tier += f", shard_address={args.shard_address}"
     print(
         f"== batch serving: {args.queries} queries x {args.repeat} passes "
         f"(backend={args.backend}{tier}) =="
@@ -221,6 +231,13 @@ def run_batch(args) -> int:
             "disk tier: "
             + ", ".join(f"{name}={stats[name]}" for name in
                         ("disk_hits", "disk_misses", "disk_size"))
+        )
+    if "n_shards" in stats:
+        print(
+            "shard tier: "
+            + ", ".join(f"{name}={stats[name]}" for name in
+                        ("n_shards", "shard_hits", "shard_misses",
+                         "shard_size"))
         )
     return 0
 
@@ -394,7 +411,17 @@ def main(argv: list[str] | None = None) -> int:
     batch_parser.add_argument(
         "--cache-db", default=None, metavar="PATH",
         help="SQLite file for the persistent cache tier (warm state "
-        "survives restarts)",
+        "survives restarts; with --cache-shards: the stem of the "
+        "per-shard files)",
+    )
+    batch_parser.add_argument(
+        "--cache-shards", type=int, default=None, metavar="N",
+        help="shard the warm cache tier N ways (repro.service.shard)",
+    )
+    batch_parser.add_argument(
+        "--shard-address", default=None, metavar="HOST:PORT",
+        help="join a running ShardCacheServer as one worker of a fleet "
+        "(excludes --cache-db/--cache-shards)",
     )
     batch_parser.add_argument(
         "--capacity", type=int, default=4096, help="solver-cache capacity"

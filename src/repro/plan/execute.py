@@ -197,6 +197,16 @@ def _run_in_process(
         _demand_solve(plan, node, execution, cache, rng)
 
 
+def _serve_from_tier(
+    node: SolveNode, execution: PlanExecution, value
+) -> float:
+    """Record a shared-tier answer as a cache-served node."""
+    pair = (float(value[0]), value[1])
+    execution.resolved[node.node_id] = pair
+    execution.cache_served.add(node.node_id)
+    return pair[0]
+
+
 def _demand_solve(
     plan: QueryPlan,
     node: SolveNode,
@@ -208,21 +218,43 @@ def _demand_solve(
     resolved = execution.resolved.get(node.node_id)
     if resolved is not None:
         return resolved[0]
+    owns_flight = False
     if cache is not None and node.cacheable:
         cached = cache.get(node.cache_key)
         if cached is not None:
             execution.resolved[node.node_id] = cached
             execution.cache_served.add(node.node_id)
             return cached[0]
+        # A shared-tier cache (repro.service.shard) supports fleet-wide
+        # single-flight: claim the key, or wait out another worker's
+        # in-flight solve instead of duplicating it.  Plain caches don't
+        # have the surface and solve immediately, as before.
+        claim = getattr(cache, "claim", None)
+        if claim is not None:
+            status, value = claim(node.cache_key)
+            if status == "value":
+                return _serve_from_tier(node, execution, value)
+            if status == "wait":
+                waited = cache.wait_flight(node.cache_key)
+                if waited is not None:
+                    return _serve_from_tier(node, execution, waited)
+                # The owner abandoned the flight; fall through and solve
+                # locally (no claim held — the publish below still lands).
+            owns_flight = status == "claimed"
     solve_started = time.perf_counter()
-    probability, solver_name = solve_session(
-        node.model,
-        node.labeling,
-        node.union,
-        method=_node_method(plan, node),
-        rng=rng,
-        **node.options,
-    )
+    try:
+        probability, solver_name = solve_session(
+            node.model,
+            node.labeling,
+            node.union,
+            method=_node_method(plan, node),
+            rng=rng,
+            **node.options,
+        )
+    except BaseException:
+        if owns_flight:
+            cache.release_flight(node.cache_key)
+        raise
     execution.seconds_by_solve[node.node_id] = (
         time.perf_counter() - solve_started
     )
@@ -248,6 +280,27 @@ def _run_on_backend(
         n for n in pending if _node_method(plan, n) in APPROXIMATE_METHODS
     ]
 
+    # Fleet-wide single-flight (shared-tier caches only): claim every
+    # cacheable exact node up front.  Keys another fleet member is already
+    # solving drop out of this worker's task list; after our own tasks
+    # land we collect their published answers instead of recomputing.
+    claim = getattr(cache, "claim", None) if cache is not None else None
+    waiting: list[SolveNode] = []
+    if claim is not None:
+        owned: list[SolveNode] = []
+        for node in exact:
+            if not node.cacheable:
+                owned.append(node)
+                continue
+            status, value = claim(node.cache_key)
+            if status == "value":
+                _serve_from_tier(node, execution, value)
+            elif status == "wait":
+                waiting.append(node)
+            else:
+                owned.append(node)
+        exact = owned
+
     tasks = [
         make_solve_task(
             node.model,
@@ -263,7 +316,15 @@ def _run_on_backend(
         )
         for node in exact
     ]
-    outcomes = backend.run(tasks)
+    try:
+        outcomes = backend.run(tasks)
+    except BaseException:
+        if claim is not None:
+            # Don't strand fleet waiters on claims we will never publish.
+            for node in exact:
+                if node.cacheable:
+                    cache.release_flight(node.cache_key)
+        raise
     fresh_pairs: list[tuple[Hashable, tuple[float, str]]] = []
     for node, outcome in zip(exact, outcomes):
         execution.resolved[node.node_id] = outcome.value
@@ -273,8 +334,18 @@ def _run_on_backend(
             fresh_pairs.append((node.cache_key, outcome.value))
     if cache is not None and fresh_pairs:
         # One call so a persistent tier can flush the batch in a single
-        # transaction instead of one commit per solve.
+        # transaction instead of one commit per solve (and a shared tier
+        # publishes the claimed flights, waking fleet waiters).
         cache.put_many(fresh_pairs)
+
+    # Collect answers another fleet member was solving when we claimed.
+    # An abandoned flight (its owner died) degrades to a local solve.
+    for node in waiting:
+        waited = cache.wait_flight(node.cache_key)
+        if waited is not None:
+            _serve_from_tier(node, execution, waited)
+        else:
+            _demand_solve(plan, node, execution, cache, rng)
 
     # rng-driven fallbacks (auto-approx) run in-process, in plan order.
     _run_in_process(plan, sampled, execution, cache=None, rng=rng)

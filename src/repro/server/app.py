@@ -80,6 +80,13 @@ class ServerApp:
             metrics=self.metrics,
             seed=config.seed,
         )
+        # Cache-tier depth (disk hits/misses, per-shard hit/occupancy)
+        # reaches /stats as a registered gauge: the service owns the
+        # tiers, the registry evaluates them at snapshot time.  Guarded
+        # so injected stand-in services without the surface still serve.
+        tier_depth = getattr(self.service, "tier_depth", None)
+        if tier_depth is not None:
+            self.metrics.register_gauge("cache_tiers", tier_depth)
         self.shutdown_requested = asyncio.Event()
         self._started_monotonic = time.monotonic()
 

@@ -78,7 +78,17 @@ def add_serve_parser(subparsers) -> None:
     )
     parser.add_argument(
         "--cache-db", default=None, metavar="PATH",
-        help="SQLite file for the persistent cache tier",
+        help="SQLite file for the persistent cache tier (with "
+        "--cache-shards: the stem of the per-shard files)",
+    )
+    parser.add_argument(
+        "--cache-shards", type=int, default=None, metavar="N",
+        help="shard the warm cache tier N ways (repro.service.shard)",
+    )
+    parser.add_argument(
+        "--shard-address", default=None, metavar="HOST:PORT",
+        help="join a running ShardCacheServer as one worker of a fleet "
+        "(excludes --cache-db/--cache-shards)",
     )
     parser.add_argument(
         "--approx-budget", type=float, default=None, metavar="STATES",
@@ -105,6 +115,8 @@ def config_from_args(args):
         max_workers=args.workers,
         cache_capacity=args.capacity,
         cache_db=args.cache_db,
+        cache_shards=args.cache_shards,
+        shard_address=args.shard_address,
         solver_options=solver_options,
         window_seconds=args.window_ms / 1000.0,
         max_batch=args.max_batch,

@@ -39,6 +39,13 @@ class ServerConfig:
     max_workers: "int | None" = None
     cache_capacity: int = 4096
     cache_db: "str | None" = None
+    #: Shard the warm cache tier (repro.service.shard) this many ways;
+    #: with cache_db the shards get per-shard write-back files.
+    cache_shards: "int | None" = None
+    #: host:port of a running ShardCacheServer this server joins as one
+    #: worker of a fleet (excludes cache_db/cache_shards — the shard
+    #: server owns topology and persistence).
+    shard_address: "str | None" = None
     solver_options: dict = field(default_factory=dict)
     # --- coalescing ----------------------------------------------------
     window_seconds: float = 0.010
@@ -56,6 +63,15 @@ class ServerConfig:
             raise ValueError("max_batch must be >= 1")
         if self.max_pending_per_client < 1 or self.max_pending_total < 1:
             raise ValueError("admission limits must be >= 1")
+        if self.cache_shards is not None and self.cache_shards < 1:
+            raise ValueError("cache_shards must be >= 1")
+        if self.shard_address is not None and (
+            self.cache_db is not None or self.cache_shards is not None
+        ):
+            raise ValueError(
+                "shard_address excludes cache_db/cache_shards; the shard "
+                "server owns topology and persistence"
+            )
         if self.dataset not in ("crowdrank", "polls"):
             raise ValueError(
                 f"unknown dataset {self.dataset!r}; "
@@ -91,5 +107,7 @@ class ServerConfig:
             max_workers=self.max_workers,
             backend=self.backend,
             cache_db=self.cache_db,
+            cache_shards=self.cache_shards,
+            shard_address=self.shard_address,
             **self.solver_options,
         )

@@ -8,7 +8,11 @@ The registry keeps two kinds of state:
   demand, so ``/stats`` is cheap and the memory bound is fixed;
 * **counters** — requests by kind and outcome (answered / rejected /
   failed), coalesced batches with their planned/eliminated solve counts,
-  and per-window coalescing effect.
+  and per-window coalescing effect;
+* **gauges** — registered providers evaluated at snapshot time, used by
+  the app to surface state owned elsewhere (the service's cache-tier
+  depth: disk hits/misses, per-shard hit/occupancy counters) without the
+  registry holding a reference cycle or a stale copy.
 
 The headline derived number is the **coalesce ratio**: coalesced requests
 per planned batch.  Ratio 1.0 means every request was planned alone
@@ -22,6 +26,7 @@ from __future__ import annotations
 
 import threading
 from collections import deque
+from typing import Callable
 
 
 def percentile(sample: "list[float]", fraction: float) -> float:
@@ -51,6 +56,20 @@ class MetricsRegistry:
         self._n_solves_planned = 0
         self._n_solves_eliminated = 0
         self._batch_seconds = 0.0
+        self._gauges: dict[str, Callable[[], object]] = {}
+
+    def register_gauge(
+        self, name: str, provider: "Callable[[], object]"
+    ) -> None:
+        """Attach a named provider evaluated on every :meth:`snapshot`.
+
+        The provider returns any JSON-safe value (scalars or nested
+        dicts); it is called *outside* the registry lock, so it may take
+        its own locks (the cache tiers do).  A provider that raises is
+        reported as ``{"error": ...}`` instead of breaking ``/stats``.
+        """
+        with self._lock:
+            self._gauges[name] = provider
 
     # ------------------------------------------------------------------
     # Observations
@@ -111,13 +130,14 @@ class MetricsRegistry:
     def snapshot(self) -> dict:
         """The JSON-safe ``/stats`` payload of this registry."""
         with self._lock:
+            gauges = dict(self._gauges)
             sample = list(self._latencies)
             ratio = (
                 self._n_coalesced_requests / self._n_batches
                 if self._n_batches
                 else 0.0
             )
-            return {
+            payload = {
                 "requests": {
                     "total": self._n_requests,
                     "answered": self._n_answered,
@@ -144,3 +164,11 @@ class MetricsRegistry:
                     "batch_seconds": self._batch_seconds,
                 },
             }
+        # Providers run outside the lock: they may take their own (cache
+        # tier) locks, and a slow one must not block the counters.
+        for name, provider in gauges.items():
+            try:
+                payload[name] = provider()
+            except Exception as error:
+                payload[name] = {"error": f"{type(error).__name__}: {error}"}
+        return payload

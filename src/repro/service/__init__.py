@@ -11,6 +11,10 @@ persistence, planning"):
   query engine (``cache=`` parameter);
 * :mod:`repro.service.persist` — the SQLite tier beneath the LRU
   (:class:`PersistentSolverCache`), making warm state survive restarts;
+* :mod:`repro.service.shard` — the sharded *shared* tier
+  (:class:`ShardedSolverCache`, :class:`ShardCacheServer`): warm state
+  partitioned over canonical keys and served to a fleet of workers, with
+  fleet-wide single-flight so N cold workers solve a hot key once;
 * :mod:`repro.service.executors` — pluggable ``serial`` / ``thread`` /
   ``process`` execution backends over picklable ``SolveTask`` descriptors
   built from the canonical ``freeze()`` forms;
@@ -41,6 +45,13 @@ from repro.service.executors import (
 )
 from repro.service.keys import freeze_model, session_cache_key, solve_cache_key
 from repro.service.persist import PersistentCache, PersistentSolverCache
+from repro.service.shard import (
+    ShardCacheServer,
+    ShardClient,
+    ShardGroup,
+    ShardedSolverCache,
+    shard_of,
+)
 
 __all__ = [
     "BACKENDS",
@@ -50,10 +61,15 @@ __all__ = [
     "PersistentSolverCache",
     "ProcessBackend",
     "SerialBackend",
+    "ShardCacheServer",
+    "ShardClient",
+    "ShardGroup",
+    "ShardedSolverCache",
     "SolveTask",
     "SolverCache",
     "TaskOutcome",
     "ThreadBackend",
+    "shard_of",
     "freeze_model",
     "resolve_backend",
     "run_solve_task",

@@ -79,6 +79,11 @@ class SolverCache:
         self._capacity = capacity
         self._data: OrderedDict[Hashable, Any] = OrderedDict()
         self._lock = threading.RLock()
+        #: In-flight computations keyed by cache key: the first thread to
+        #: miss in :meth:`get_or_compute` registers an event here and
+        #: computes; concurrent misses wait on the event instead of
+        #: duplicating the solve.
+        self._flights: dict[Hashable, threading.Event] = {}
         self._hits = 0
         self._misses = 0
         self._evictions = 0
@@ -113,8 +118,12 @@ class SolverCache:
             self._hits += 1
             return value
 
-    def put(self, key: Hashable, value: Any) -> None:
-        """Insert/refresh an entry, evicting the least recently used beyond capacity."""
+    def _store(self, key: Hashable, value: Any) -> None:
+        """Insert/refresh one entry, evicting beyond capacity.
+
+        Takes the (reentrant) lock itself, so batch paths that already
+        hold it can call this per entry without releasing in between.
+        """
         with self._lock:
             if key in self._data:
                 self._data.move_to_end(key)
@@ -123,24 +132,75 @@ class SolverCache:
                 self._data.popitem(last=False)
                 self._evictions += 1
 
+    def _release_flight(self, key: Hashable) -> None:
+        """Wake any :meth:`get_or_compute` waiters blocked on ``key``."""
+        with self._lock:
+            flight = self._flights.pop(key, None)
+        if flight is not None:
+            flight.set()
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Insert/refresh an entry, evicting the least recently used beyond capacity."""
+        self._store(key, value)
+        self._release_flight(key)
+
     def put_many(self, items) -> None:
-        """Insert/refresh many entries; subclasses may batch the work."""
-        for key, value in items:
-            self.put(key, value)
+        """Insert/refresh many entries under ONE lock acquisition.
+
+        A batch flush from the plan executor can carry hundreds of fresh
+        outcomes; taking the lock per entry would interleave them with
+        concurrent readers for no benefit.  Subclasses with a durable tier
+        override this to also batch the disk work.
+        """
+        items = list(items)
+        with self._lock:
+            for key, value in items:
+                self._store(key, value)
+            flights = [
+                flight
+                for key, _ in items
+                if (flight := self._flights.pop(key, None)) is not None
+            ]
+        for flight in flights:
+            flight.set()
 
     def get_or_compute(self, key: Hashable, compute: Callable[[], Any]) -> Any:
         """The cached value, or ``compute()`` stored under ``key``.
 
-        ``compute`` runs outside the lock: concurrent misses on the same
-        key may duplicate work (both results are identical by construction
-        of the canonical keys), but a slow solve never blocks the cache.
+        Single-flight: concurrent misses on one key perform ONE compute —
+        the first thread to miss claims the key (a per-key in-flight
+        event), the others block on the event and read the published
+        value.  ``compute`` still runs outside the lock, so a slow solve
+        never blocks unrelated cache traffic.  If the owning compute
+        raises, its waiters race to claim the key and retry, so a failure
+        never strands a waiter.  ``compute`` must not re-enter the cache
+        with the same key, or it will deadlock on its own flight.
         """
+        # The subclass-aware lookup first: a tiered cache (persistent,
+        # sharded) serves from its lower tiers through ``get``.
         value = self.get(key, _MISSING)
         if value is not _MISSING:
             return value
-        value = compute()
-        self.put(key, value)
-        return value
+        while True:
+            with self._lock:
+                value = self._data.get(key, _MISSING)
+                if value is not _MISSING:
+                    self._data.move_to_end(key)
+                    self._hits += 1
+                    return value
+                flight = self._flights.get(key)
+                if flight is None:
+                    self._flights[key] = threading.Event()
+            if flight is None:  # this thread owns the flight
+                try:
+                    value = compute()
+                except BaseException:
+                    self._release_flight(key)
+                    raise
+                self.put(key, value)  # put() releases the flight
+                return value
+            flight.wait()
+            # Loop: a hit unless the owner failed (then race to re-claim).
 
     def clear(self) -> None:
         """Drop all entries (counters are kept; see :meth:`reset_stats`)."""

@@ -260,8 +260,18 @@ def run_solve_task(task: SolveTask) -> TaskOutcome:
 
 
 def default_worker_count() -> int:
-    """Worker-pool default: ``min(8, cpu_count)``."""
-    return min(8, os.cpu_count() or 1)
+    """Worker-pool default: ``min(8, usable cpus)``.
+
+    The usable count honors the process's CPU affinity mask where the
+    platform exposes one (containers and ``taskset`` routinely pin a
+    fleet's workers to disjoint cores, and ``os.cpu_count()`` would
+    oversubscribe them), falling back to the raw core count elsewhere.
+    """
+    if hasattr(os, "sched_getaffinity"):
+        usable = len(os.sched_getaffinity(0)) or 1
+    else:
+        usable = os.cpu_count() or 1
+    return min(8, usable)
 
 
 class ExecutionBackend:

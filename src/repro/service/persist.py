@@ -160,10 +160,16 @@ class PersistentCache:
     def get(
         self, key: Hashable, default: Any = None
     ) -> "tuple[float, str] | Any":
+        return self.get_encoded(encode_key(key), default)
+
+    def get_encoded(
+        self, encoded_key: str, default: Any = None
+    ) -> "tuple[float, str] | Any":
+        """Lookup by a pre-encoded TEXT key (the shard tier's currency)."""
         with self._lock:
             row = self._conn.execute(
                 "SELECT probability, solver FROM entries WHERE key = ?",
-                (encode_key(key),),
+                (encoded_key,),
             ).fetchone()
             if row is None:
                 self._misses += 1
@@ -188,7 +194,17 @@ class PersistentCache:
                     "persistent cache stores (probability, solver) pairs, "
                     f"got {value!r}"
                 )
-            rows.append((encode_key(key), float(value[0]), value[1]))
+            rows.append((encode_key(key), value))
+        self.put_many_encoded(rows)
+
+    def put_many_encoded(
+        self, items: "list[tuple[str, tuple[float, str]]]"
+    ) -> None:
+        """``put_many`` over pre-encoded TEXT keys, still one transaction."""
+        rows = [
+            (encoded_key, float(value[0]), value[1])
+            for encoded_key, value in items
+        ]
         if not rows:
             return
         with self._lock:
@@ -271,10 +287,14 @@ class PersistentSolverCache(SolverCache):
             self._persistent.put(key, value)
 
     def put_many(self, items) -> None:
-        """Write-through a whole batch with one disk transaction."""
+        """Write-through a whole batch with one disk transaction.
+
+        The in-memory half goes through the base class (one lock
+        acquisition for the whole batch); the durable half is one SQLite
+        transaction.
+        """
         items = list(items)
-        for key, value in items:
-            SolverCache.put(self, key, value)
+        SolverCache.put_many(self, items)
         self._persistent.put_many(
             [(key, value) for key, value in items if _persistable(value)]
         )
@@ -287,6 +307,15 @@ class PersistentSolverCache(SolverCache):
     def tier_stats(self) -> dict[str, float]:
         """Disk-tier counters, merged into ``PreferenceService.stats()``."""
         return self._persistent.stats()
+
+    def tier_depth(self) -> dict:
+        """Structured per-tier depth for the server's ``/stats`` payload.
+
+        Unlike :meth:`tier_stats` (flat scalars merged into the service
+        counters), this nests one entry per tier beneath the LRU, so the
+        wire can show the whole cache hierarchy.
+        """
+        return {"disk": self._persistent.stats()}
 
     def close(self) -> None:
         self._persistent.close()

@@ -59,6 +59,7 @@ from repro.query.engine import APPROXIMATE_METHODS, QueryResult, evaluate
 from repro.service.cache import SolverCache
 from repro.service.executors import ExecutionBackend, resolve_backend
 from repro.service.persist import PersistentSolverCache
+from repro.service.shard import ShardedSolverCache
 
 
 @dataclass
@@ -122,6 +123,20 @@ class PreferenceService:
         in-memory cache (:class:`~repro.service.persist
         .PersistentSolverCache`): solves are written through and survive
         process restarts.  Mutually exclusive with an explicit ``cache``.
+        With ``cache_shards`` it becomes the *stem* of the per-shard
+        write-back files instead.
+    cache_shards:
+        Shard the warm tier: the cache becomes a
+        :class:`~repro.service.shard.ShardedSolverCache` with this many
+        shards beneath the process-local LRU, partitioned over the
+        canonical keys, with fleet-wide single-flight.  Combine with
+        ``cache_db`` for per-shard SQLite write-back files.
+    shard_address:
+        ``host:port`` of a running
+        :class:`~repro.service.shard.ShardCacheServer`: this service
+        becomes one worker of a fleet sharing that warm tier.  The server
+        owns the shard topology and persistence, so this is mutually
+        exclusive with ``cache_db`` and ``cache_shards``.
     solver_options:
         Default options forwarded to every solve (e.g. ``time_budget=60``).
 
@@ -147,14 +162,33 @@ class PreferenceService:
         cache: SolverCache | None = None,
         backend: "str | ExecutionBackend" = "thread",
         cache_db: "str | None" = None,
+        cache_shards: "int | None" = None,
+        shard_address: "str | None" = None,
         **solver_options,
     ):
-        if cache is not None and cache_db is not None:
+        sharded = cache_shards is not None or shard_address is not None
+        if cache is not None and (cache_db is not None or sharded):
             raise ValueError(
-                "pass either an explicit cache or a cache_db path, not both"
+                "pass either an explicit cache or cache tier knobs "
+                "(cache_db/cache_shards/shard_address), not both"
+            )
+        if shard_address is not None and (
+            cache_db is not None or cache_shards is not None
+        ):
+            raise ValueError(
+                "an attached shard server owns topology and persistence; "
+                "shard_address excludes cache_db/cache_shards"
             )
         if cache is not None:
             self.cache = cache
+        elif shard_address is not None:
+            self.cache = ShardedSolverCache(
+                cache_capacity, address=shard_address
+            )
+        elif cache_shards is not None:
+            self.cache = ShardedSolverCache(
+                cache_capacity, n_shards=cache_shards, cache_db=cache_db
+            )
         elif cache_db is not None:
             self.cache = PersistentSolverCache(cache_capacity, cache_db)
         else:
@@ -175,6 +209,16 @@ class PreferenceService:
         if tier_stats is not None:
             stats.update(tier_stats())
         return stats
+
+    def tier_depth(self) -> dict:
+        """Structured per-tier depth beneath the LRU (``{}`` when untiered).
+
+        ``{"disk": {...}}`` for a persistent cache; the per-shard payload
+        (``n_shards`` / ``shards`` / ``totals``) for a sharded one.  The
+        server's ``/stats`` endpoint nests this beside the flat counters.
+        """
+        tier_depth = getattr(self.cache, "tier_depth", None)
+        return tier_depth() if tier_depth is not None else {}
 
     # ------------------------------------------------------------------
     # Single-query path

@@ -213,6 +213,103 @@ class TestSolverCache:
         with pytest.raises(ValueError):
             SolverCache(capacity=0)
 
+    def test_get_or_compute_single_flight_under_contention(self):
+        # Regression: concurrent misses on ONE key used to race past the
+        # documented check-then-compute window and each run compute().
+        # With per-key in-flight events, a barrier-synchronized pool of
+        # threads releases exactly one compute; the rest block and read
+        # the published value.
+        import threading
+        from concurrent.futures import ThreadPoolExecutor
+
+        n_threads = 8
+        cache = SolverCache(capacity=4)
+        barrier = threading.Barrier(n_threads)
+        calls = []
+        calls_lock = threading.Lock()
+
+        def compute():
+            with calls_lock:
+                calls.append(threading.get_ident())
+            return "value"
+
+        def contend():
+            barrier.wait()  # all threads miss at the same instant
+            return cache.get_or_compute("hot", compute)
+
+        with ThreadPoolExecutor(max_workers=n_threads) as pool:
+            results = list(pool.map(lambda _: contend(), range(n_threads)))
+        assert results == ["value"] * n_threads
+        assert len(calls) == 1
+
+    def test_get_or_compute_failed_owner_does_not_strand_waiters(self):
+        import threading
+
+        cache = SolverCache(capacity=4)
+        entered = threading.Event()
+        release = threading.Event()
+        outcome = []
+
+        def failing():
+            entered.set()
+            release.wait(5.0)
+            raise RuntimeError("solver blew up")
+
+        def owner():
+            try:
+                cache.get_or_compute("k", failing)
+            except RuntimeError:
+                outcome.append("raised")
+
+        def waiter():
+            entered.wait(5.0)
+            outcome.append(cache.get_or_compute("k", lambda: "recovered"))
+
+        threads = [
+            threading.Thread(target=owner),
+            threading.Thread(target=waiter),
+        ]
+        threads[0].start()
+        entered.wait(5.0)
+        threads[1].start()
+        release.set()
+        for thread in threads:
+            thread.join(5.0)
+        assert "raised" in outcome
+        assert "recovered" in outcome
+
+    def test_put_many_takes_the_lock_once(self):
+        # The batch flush contract: ONE outer lock acquisition for the
+        # whole batch (re-entrant re-entries inside it are free), not one
+        # per entry — so a flush never interleaves with readers.
+        import threading
+
+        class CountingRLock:
+            """Counts acquisitions made while the lock was not yet held."""
+
+            def __init__(self):
+                self._inner = threading.RLock()
+                self._depth = 0
+                self.outer_acquisitions = 0
+
+            def __enter__(self):
+                entered = self._inner.__enter__()
+                if self._depth == 0:
+                    self.outer_acquisitions += 1
+                self._depth += 1
+                return entered
+
+            def __exit__(self, *exc_info):
+                self._depth -= 1
+                return self._inner.__exit__(*exc_info)
+
+        cache = SolverCache(capacity=64)
+        lock = CountingRLock()
+        cache._lock = lock
+        cache.put_many([(f"k{i}", i) for i in range(50)])
+        assert len(cache) == 50
+        assert lock.outer_acquisitions == 1
+
 
 # ----------------------------------------------------------------------
 # Engine and dispatch wiring
