@@ -10,6 +10,7 @@ Usage::
     python -m repro explain "<query>"    # cost-annotated query plan
     python -m repro query "<request>"    # one-shot evaluation of any kind
     python -m repro serve                # coalescing HTTP/JSON front-end
+    python -m repro replay               # standing queries over live traffic
     python -m repro lint [paths]         # project-invariant static analysis
 
 The ``query`` and ``explain`` commands accept the unified request grammar
@@ -496,6 +497,10 @@ def main(argv: list[str] | None = None) -> int:
 
     add_serve_parser(subparsers)
 
+    from repro.stream.cli import add_replay_parser
+
+    add_replay_parser(subparsers)
+
     from repro.analysis.cli import add_lint_parser
 
     add_lint_parser(subparsers)
@@ -519,6 +524,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.server.cli import run_serve
 
         return run_serve(args)
+    if args.command == "replay":
+        from repro.stream.cli import run_replay
+
+        return run_replay(args)
     if args.command == "lint":
         from repro.analysis.cli import run_lint
 

@@ -45,6 +45,12 @@ class Answer:
     #: The deprecated pre-redesign result envelope, bit-identical to the
     #: historical entry point of this kind.
     legacy: Any = None
+    #: The database generation this answer was computed against (the
+    #: monotonic counter of :class:`~repro.db.mutable.MutablePPDatabase`),
+    #: or ``None`` for a static snapshot.  A reader holding a database at
+    #: generation ``g`` can detect a stale answer by ``answer.generation
+    #: != g`` — the staleness gauge the standing-query engine exports.
+    generation: "int | None" = None
 
     def to_legacy(self):
         """The deprecated kind-specific result dataclass (bit-identical)."""
@@ -113,6 +119,9 @@ class BatchAnswer:
     #: window (``/stats``).  Zero on the sequential approximate route.
     n_solves_planned: int = 0
     n_solves_eliminated: int = 0
+    #: The database generation the batch was computed against (``None``
+    #: for a static snapshot); see :attr:`Answer.generation`.
+    generation: "int | None" = None
 
     @property
     def values(self) -> list:

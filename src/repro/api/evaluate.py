@@ -56,6 +56,17 @@ from repro.service.executors import (
 )
 
 
+def db_generation(db) -> "int | None":
+    """The database's monotonic mutation counter, if it has one.
+
+    Static snapshots have no ``generation`` attribute and stamp ``None``;
+    a :class:`~repro.db.mutable.MutablePPDatabase` stamps the counter the
+    answer was computed against, making stale reads detectable.
+    """
+    generation = getattr(db, "generation", None)
+    return generation if isinstance(generation, int) else None
+
+
 def answer(
     request: "QueryRequest | Any",
     db,
@@ -74,6 +85,40 @@ def answer(
     carries its deprecated kind-specific legacy twin
     (:meth:`Answer.to_legacy`), bit-identical to the pre-redesign entry
     point of that kind.
+    """
+    result, _, _ = answer_with_plan(
+        request,
+        db,
+        method=method,
+        rng=rng,
+        group_sessions=group_sessions,
+        session_limit=session_limit,
+        cache=cache,
+        optimize=optimize,
+        **solver_options,
+    )
+    return result
+
+
+def answer_with_plan(
+    request: "QueryRequest | Any",
+    db: Any,
+    method: str = "auto",
+    rng: "np.random.Generator | None" = None,
+    group_sessions: bool = True,
+    session_limit: int | None = None,
+    cache: SolverCache | None = None,
+    optimize: bool = True,
+    **solver_options: Any,
+) -> "tuple[Answer, QueryPlan, PlanExecution]":
+    """:func:`answer`, also returning the executed plan and its execution.
+
+    The streaming layer (:mod:`repro.stream.standing`) needs the plan the
+    answer came from — its terminals carry the canonical cache key per
+    session, the map a delta-targeted invalidation is keyed by — and the
+    execution's fresh-solve counters.  Sharing one implementation keeps
+    the standing-query refresh bit-identical to :func:`answer` by
+    construction.
     """
     started = time.perf_counter()
     request = as_request(request)
@@ -113,7 +158,8 @@ def answer(
     )[0]
     result.seconds = time.perf_counter() - started
     result.legacy.seconds = result.seconds
-    return result
+    result.generation = db_generation(db)
+    return result, plan, execution
 
 
 def answer_many(
@@ -174,6 +220,7 @@ def answer_many(
             seconds=time.perf_counter() - started,
             cache_stats=cache.stats().as_dict() if cache is not None else {},
             backend="serial",
+            generation=db_generation(db),
         )
 
     plan = build_plan(
@@ -196,6 +243,9 @@ def answer_many(
             len(plan.passes_applied),
         )
     answers = assemble_answers(plan, execution, batched=True)
+    generation = db_generation(db)
+    for one in answers:
+        one.generation = generation
     return BatchAnswer(
         answers=answers,
         n_requests=len(answers),
@@ -207,6 +257,7 @@ def answer_many(
         backend=execution_backend.name,
         n_solves_planned=plan.n_solves_planned,
         n_solves_eliminated=plan.n_solves_eliminated,
+        generation=generation,
     )
 
 

@@ -8,6 +8,15 @@ samples one ranking per session from its model.
 
 from repro.db.database import PPDatabase
 from repro.db.examples import polling_example
+from repro.db.mutable import MutablePPDatabase, MutablePRelation, SessionDelta
 from repro.db.schema import ORelation, PRelation
 
-__all__ = ["ORelation", "PRelation", "PPDatabase", "polling_example"]
+__all__ = [
+    "MutablePPDatabase",
+    "MutablePRelation",
+    "ORelation",
+    "PPDatabase",
+    "PRelation",
+    "SessionDelta",
+    "polling_example",
+]

@@ -25,7 +25,7 @@ Supported query shape (documented conventions):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Hashable
+from typing import Any, Hashable
 
 from repro.query.ast import (
     Comparison,
@@ -83,7 +83,7 @@ def _fold_equalities(query: ConjunctiveQuery) -> ConjunctiveQuery | None:
     return query.substitute(assignment)
 
 
-def analyze(query: ConjunctiveQuery, db) -> QueryAnalysis:
+def analyze(query: ConjunctiveQuery, db: Any) -> QueryAnalysis:
     """Analyze and validate a query against the database schema.
 
     Raises :class:`UnsupportedQueryError` for non-sessionwise queries and

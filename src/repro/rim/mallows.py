@@ -12,7 +12,7 @@ used here (Section 2.2 of the paper).
 from __future__ import annotations
 
 import math
-from typing import Hashable, Sequence
+from typing import Any, Hashable, Sequence
 
 import numpy as np
 
@@ -65,7 +65,7 @@ class Mallows(RIM):
     0.380952
     """
 
-    def __init__(self, sigma, phi: float):
+    def __init__(self, sigma: Any, phi: float):
         sigma_ranking = sigma if isinstance(sigma, Ranking) else Ranking(sigma)
         # The memoized (m, phi) matrix is valid by construction, so the
         # stochasticity re-validation of RIM.__init__ is skipped; distinct

@@ -52,7 +52,9 @@ Response = tuple[int, dict, dict]
 class ServerApp:
     """The transport-independent serving front-end."""
 
-    def __init__(self, config: ServerConfig, db=None, service=None):
+    def __init__(
+        self, config: ServerConfig, db=None, service=None, stream=None
+    ):
         if (
             config.method == "auto-approx"
             and config.solver_options.get("approx_budget") is None
@@ -87,6 +89,12 @@ class ServerApp:
         tier_depth = getattr(self.service, "tier_depth", None)
         if tier_depth is not None:
             self.metrics.register_gauge("cache_tiers", tier_depth)
+        # A deployment maintaining standing queries over a mutable
+        # database (repro.stream) surfaces the same way: count, max
+        # staleness in generations, and invalidations applied.
+        self.stream = stream
+        if stream is not None:
+            self.metrics.register_gauge("standing_queries", stream.stats)
         self.shutdown_requested = asyncio.Event()
         self._started_monotonic = time.monotonic()
 

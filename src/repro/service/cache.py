@@ -13,7 +13,7 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Any, Callable, Hashable
+from typing import Any, Callable, Hashable, Iterable
 
 
 @dataclass(frozen=True)
@@ -37,6 +37,10 @@ class CacheStats:
     n_solves_planned: int = 0
     n_solves_eliminated: int = 0
     n_passes_applied: int = 0
+    #: Entries dropped by targeted :meth:`SolverCache.invalidate` calls
+    #: (the streaming layer retiring solves of expired/updated sessions) —
+    #: distinct from capacity ``evictions`` and whole-store ``clear``.
+    invalidations: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -55,6 +59,7 @@ class CacheStats:
             "n_solves_planned": self.n_solves_planned,
             "n_solves_eliminated": self.n_solves_eliminated,
             "n_passes_applied": self.n_passes_applied,
+            "invalidations": self.invalidations,
         }
 
 
@@ -87,6 +92,7 @@ class SolverCache:
         self._hits = 0
         self._misses = 0
         self._evictions = 0
+        self._invalidations = 0
         self._n_solves_planned = 0
         self._n_solves_eliminated = 0
         self._n_passes_applied = 0
@@ -207,6 +213,26 @@ class SolverCache:
         with self._lock:
             self._data.clear()
 
+    def invalidate(self, keys: "Iterable[Hashable]") -> int:
+        """Drop exactly ``keys``; returns how many were present.
+
+        The targeted sibling of :meth:`clear`, used by the streaming
+        layer to retire entries whose session was updated or expired
+        (DESIGN.md Section 15).  Content-addressed keys make this a
+        space/bookkeeping operation, never a correctness one: a changed
+        session freezes to a *new* key, so stale entries can linger
+        unread — invalidation reclaims them deterministically.  Absent
+        keys are ignored; dropped entries count as ``invalidations`` in
+        :meth:`stats`, not as evictions.
+        """
+        with self._lock:
+            dropped = 0
+            for key in keys:
+                if self._data.pop(key, _MISSING) is not _MISSING:
+                    dropped += 1
+            self._invalidations += dropped
+            return dropped
+
     def record_plan(
         self, n_planned: int, n_eliminated: int, n_passes: int
     ) -> None:
@@ -221,6 +247,7 @@ class SolverCache:
             self._hits = 0
             self._misses = 0
             self._evictions = 0
+            self._invalidations = 0
             self._n_solves_planned = 0
             self._n_solves_eliminated = 0
             self._n_passes_applied = 0
@@ -236,4 +263,5 @@ class SolverCache:
                 n_solves_planned=self._n_solves_planned,
                 n_solves_eliminated=self._n_solves_eliminated,
                 n_passes_applied=self._n_passes_applied,
+                invalidations=self._invalidations,
             )

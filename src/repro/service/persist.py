@@ -117,6 +117,7 @@ class PersistentCache:
         )
         self._hits = 0
         self._misses = 0
+        self._invalidations = 0
         with self._lock:
             self._conn.execute(
                 "CREATE TABLE IF NOT EXISTS meta "
@@ -220,12 +221,32 @@ class PersistentCache:
             self._conn.execute("DELETE FROM entries")
             self._conn.commit()
 
+    def invalidate(self, keys) -> int:
+        """Drop exactly ``keys`` from the file; returns how many existed."""
+        return self.invalidate_encoded([encode_key(key) for key in keys])
+
+    def invalidate_encoded(self, encoded_keys: "list[str]") -> int:
+        """:meth:`invalidate` over pre-encoded TEXT keys, one transaction."""
+        if not encoded_keys:
+            return 0
+        with self._lock:
+            dropped = 0
+            for encoded_key in encoded_keys:
+                cursor = self._conn.execute(
+                    "DELETE FROM entries WHERE key = ?", (encoded_key,)
+                )
+                dropped += cursor.rowcount
+            self._conn.commit()
+            self._invalidations += dropped
+            return dropped
+
     def stats(self) -> dict[str, float]:
         with self._lock:
             return {
                 "disk_hits": self._hits,
                 "disk_misses": self._misses,
                 "disk_size": len(self),
+                "disk_invalidations": self._invalidations,
             }
 
     def close(self) -> None:
@@ -303,6 +324,18 @@ class PersistentSolverCache(SolverCache):
         """Drop both tiers (counters are kept, as in the base class)."""
         super().clear()
         self._persistent.clear()
+
+    def invalidate(self, keys) -> int:
+        """Drop ``keys`` from BOTH tiers (write-through invalidation).
+
+        Returns the in-memory drop count (the tier the solver reads
+        first); the disk tier's own count shows up in
+        :meth:`tier_stats` as ``disk_invalidations``.
+        """
+        keys = list(keys)
+        dropped = super().invalidate(keys)
+        self._persistent.invalidate(keys)
+        return dropped
 
     def tier_stats(self) -> dict[str, float]:
         """Disk-tier counters, merged into ``PreferenceService.stats()``."""

@@ -126,6 +126,7 @@ class ShardStore:
         self._hits = 0
         self._misses = 0
         self._evictions = 0
+        self._invalidations = 0
 
     @property
     def persistent(self) -> PersistentCache | None:
@@ -243,12 +244,34 @@ class ShardStore:
         if self._persistent is not None:
             self._persistent.clear()
 
+    def invalidate(self, encoded_keys: Iterable[str]) -> int:
+        """Drop exactly ``encoded_keys`` (memory AND write-back file).
+
+        The targeted sibling of :meth:`clear`: the streaming layer
+        retires keys of expired/updated sessions without disturbing the
+        rest of the shard.  In-flight computations of a dropped key are
+        left alone — their eventual publish re-inserts a value that is
+        correct for *its* key (content-addressed keys cannot go stale).
+        Returns the in-memory drop count.
+        """
+        encoded_keys = list(encoded_keys)
+        with self._lock:
+            dropped = 0
+            for encoded_key in encoded_keys:
+                if self._data.pop(encoded_key, None) is not None:
+                    dropped += 1
+            self._invalidations += dropped
+        if self._persistent is not None:
+            self._persistent.invalidate_encoded(encoded_keys)
+        return dropped
+
     def stats(self) -> dict[str, float]:
         with self._lock:
             counters: dict[str, float] = {
                 "hits": self._hits,
                 "misses": self._misses,
                 "evictions": self._evictions,
+                "invalidations": self._invalidations,
                 "size": len(self._data),
                 "capacity": self._capacity,
                 "in_flight": len(self._flights),
@@ -341,6 +364,17 @@ class ShardGroup:
     def clear(self) -> None:
         for store in self._stores:
             store.clear()
+
+    def invalidate(self, encoded_keys: Iterable[str]) -> int:
+        """Route a targeted drop by shard; returns the total drop count."""
+        by_shard: dict[int, list[str]] = {}
+        for encoded_key in encoded_keys:
+            index = shard_of(encoded_key, len(self._stores))
+            by_shard.setdefault(index, []).append(encoded_key)
+        return sum(
+            self._stores[index].invalidate(batch)
+            for index, batch in by_shard.items()
+        )
 
     def stats(self) -> dict[str, Any]:
         """Per-shard counters plus their totals (the ``/stats`` payload)."""
@@ -540,6 +574,17 @@ class ShardCacheServer:
             (encoded_key,) = arguments
             self.group.release(encoded_key)
             return True
+        if op == "invalidate":
+            (encoded_keys,) = arguments
+            if not (
+                isinstance(encoded_keys, list)
+                and all(isinstance(item, str) for item in encoded_keys)
+            ):
+                raise ShardProtocolError(
+                    "invalidate expects a list of encoded TEXT keys, "
+                    f"got {encoded_keys!r}"
+                )
+            return self.group.invalidate(encoded_keys)
         if op == "stats":
             return self.group.stats()
         if op == "clear":
@@ -688,6 +733,9 @@ class ShardClient:
 
     def release(self, encoded_key: str) -> None:
         self._call(("release", encoded_key))
+
+    def invalidate(self, encoded_keys: Iterable[str]) -> int:
+        return int(self._call(("invalidate", list(encoded_keys))))
 
     def stats(self) -> dict[str, Any]:
         payload = self._call(("stats",))
@@ -874,9 +922,12 @@ class ShardedSolverCache(SolverCache):
             "shard_hits": totals.get("hits", 0.0),
             "shard_misses": totals.get("misses", 0.0),
             "shard_evictions": totals.get("evictions", 0.0),
+            "shard_invalidations": totals.get("invalidations", 0.0),
             "shard_size": totals.get("size", 0.0),
         }
-        for name in ("disk_hits", "disk_misses", "disk_size"):
+        for name in (
+            "disk_hits", "disk_misses", "disk_size", "disk_invalidations"
+        ):
             if name in totals:
                 flat[name] = totals[name]
         return flat
@@ -889,6 +940,20 @@ class ShardedSolverCache(SolverCache):
         """Drop the local LRU and every shard (counters are kept)."""
         super().clear()
         self._tier.clear()
+
+    def invalidate(self, keys: Iterable[Hashable]) -> int:
+        """Drop ``keys`` from the local LRU AND the shared tier.
+
+        Write-through invalidation: the same keys leave every tier (the
+        shard stores and their write-back files included), so a fleet
+        member cannot re-promote a retired entry.  Returns the local
+        drop count; the tier's own count shows up per shard in
+        :meth:`tier_depth` (``invalidations``).
+        """
+        keys = list(keys)
+        dropped = super().invalidate(keys)
+        self._tier.invalidate([encode_key(key) for key in keys])
+        return dropped
 
     def close(self) -> None:
         self._tier.close()

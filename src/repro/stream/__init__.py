@@ -1,0 +1,37 @@
+"""Streaming sessions: standing queries with incremental maintenance.
+
+The online scenario of ROADMAP open item 4 — live traffic over live
+data.  Sessions arrive, update, and expire through a
+:class:`~repro.db.mutable.MutablePPDatabase` (typed
+:class:`~repro.db.mutable.SessionDelta` events, monotonic generation
+counter); a :class:`~repro.stream.standing.StandingQueryEngine` keeps
+one materialized :class:`~repro.api.answer.Answer` per registered
+request fresh by re-executing only the affected per-session terminal
+work through the normal build -> optimize -> execute pipeline and the
+shared warm cache, retiring obsolete entries with the targeted
+``invalidate(keys)``; a :class:`~repro.stream.replay.TrafficReplayer`
+generates seeded synthetic arrival/update/expiry schedules for the
+``python -m repro replay`` CLI and ``benchmarks/bench_streaming.py``.
+
+See DESIGN.md Section 15.
+"""
+
+from repro.db.mutable import MutablePPDatabase, MutablePRelation, SessionDelta
+from repro.stream.replay import TrafficReplayer
+from repro.stream.standing import (
+    StandingQuery,
+    StandingQueryEngine,
+    answers_equal,
+    terminal_solve_keys,
+)
+
+__all__ = [
+    "MutablePPDatabase",
+    "MutablePRelation",
+    "SessionDelta",
+    "StandingQuery",
+    "StandingQueryEngine",
+    "TrafficReplayer",
+    "answers_equal",
+    "terminal_solve_keys",
+]

@@ -1,0 +1,250 @@
+"""Synthetic session traffic: seeded arrival/update/expiry schedules.
+
+The replayer turns the CrowdRank-style corpus (:mod:`repro.datasets
+.crowdrank`) into *live* traffic for the streaming layer: a seeded
+schedule of sessions arriving (a pooled worker starts ranking), updating
+(a worker's preference model drifts — re-assigned to another mixture
+component, or replaced by a freshly drawn Mallows model), and expiring
+(the worker leaves; their demographic row stays, so they can re-arrive
+later).  Polls traffic has the same shape — sessions are ``(voter,
+date)`` ballots arriving by date — so one generator covers both corpora
+by schema convention: ``M`` (items), ``V`` (demographics for the whole
+worker pool, arrivals included), ``P`` (the live sessions).
+
+Everything is deterministic given ``seed``: the same replayer replays
+the same deltas, which is what lets the benchmark assert bit-identical
+materialized answers at every generation against a from-scratch
+re-evaluation.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.datasets.crowdrank import AGES, DURATIONS, GENRES, SEXES
+from repro.db.mutable import MutablePPDatabase, SessionDelta
+from repro.db.schema import ORelation, PRelation, SessionKey
+from repro.rankings.permutation import Ranking
+from repro.rim.mallows import Mallows
+
+#: Request-kind prefixes cycled by :meth:`TrafficReplayer.standing_requests`
+#: — all four kinds of the unified grammar ride the same query families.
+_KIND_PREFIXES = ("", "COUNT ", "TOPK {k} ", "AGG mean(V.age) ")
+
+#: Overlapping CrowdRank-style query families (the ``batch_queries``
+#: shape): near-identical standing queries whose solves collide across
+#: registrations — the workload cross-query caching exists for.
+_TEMPLATES = (
+    "P(v; m1; m2), M(m1, '{genre}', _, _, _), M(m2, _, _, _, '{duration}')",
+    "P(v; m1; m2), M(m1, _, '{sex}', _, _), M(m2, 'Thriller', _, _, _)",
+    "P(v; m1; m2), V(v, sex, _), M(m1, _, sex, _, _), "
+    "M(m2, _, _, _, '{duration}')",
+)
+
+
+class TrafficReplayer:
+    """A seeded arrival/update/expiry schedule over a CrowdRank corpus.
+
+    ``n_active`` sessions are live at generation 0; ``n_pool`` further
+    workers wait to arrive (their ``V`` rows exist from the start — the
+    population is registered, the *sessions* stream).  Each
+    :meth:`step` applies ``arrivals`` + ``updates`` + ``expirations``
+    deltas through the :class:`MutablePPDatabase` mutators, so every
+    subscriber (the standing-query engine) sees them in generation
+    order.  Expired workers return to the pool and may re-arrive with a
+    freshly drawn model.
+    """
+
+    def __init__(
+        self,
+        n_active: int = 40,
+        n_pool: int = 12,
+        n_movies: int = 8,
+        n_components: int = 5,
+        arrivals: int = 1,
+        updates: int = 2,
+        expirations: int = 1,
+        phi_range: tuple[float, float] = (0.2, 0.8),
+        seed: int = 0,
+    ) -> None:
+        if n_active < 2:
+            raise ValueError(f"n_active must be >= 2, got {n_active}")
+        if min(n_pool, arrivals, updates, expirations) < 0:
+            raise ValueError("schedule counts must be >= 0")
+        self.n_movies = n_movies
+        self.arrivals = arrivals
+        self.updates = updates
+        self.expirations = expirations
+        self._phi_range = phi_range
+        self._rng = np.random.default_rng(seed)
+        self._movie_ids = list(range(1, n_movies + 1))
+        self._components = [
+            self._draw_model() for _ in range(n_components)
+        ]
+        self._home_component = {
+            (sex, age): int(self._rng.integers(n_components))
+            for sex in SEXES
+            for age in AGES
+        }
+        self._workers = [
+            f"worker{index:06d}" for index in range(n_active + n_pool)
+        ]
+        self._demographics = {
+            worker: (
+                SEXES[int(self._rng.integers(len(SEXES)))],
+                int(AGES[int(self._rng.integers(len(AGES)))]),
+            )
+            for worker in self._workers
+        }
+        self._active = list(self._workers[:n_active])
+        self._waiting = list(self._workers[n_active:])
+        self.db = self._build()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def _draw_model(self) -> Mallows:
+        """A fresh Mallows model: shuffled center, uniform dispersion."""
+        center = list(self._movie_ids)
+        self._rng.shuffle(center)
+        low, high = self._phi_range
+        return Mallows(Ranking(center), float(self._rng.uniform(low, high)))
+
+    def _component_for(self, worker: str) -> Mallows:
+        """The demographically-leaning component (20% random), as in
+        :func:`repro.datasets.crowdrank.crowdrank_database`."""
+        if self._rng.random() < 0.2:
+            index = int(self._rng.integers(len(self._components)))
+        else:
+            index = self._home_component[self._demographics[worker]]
+        return self._components[index]
+
+    def _build(self) -> MutablePPDatabase:
+        movie_rows = []
+        for movie_id in self._movie_ids:
+            if movie_id == 1:
+                genre = GENRES[0]  # the one Thriller, as in crowdrank
+            else:
+                genre = GENRES[1 + int(self._rng.integers(len(GENRES) - 1))]
+            duration = (
+                DURATIONS[0] if self._rng.random() < 0.3 else DURATIONS[1]
+            )
+            movie_rows.append(
+                (
+                    movie_id,
+                    genre,
+                    SEXES[int(self._rng.integers(len(SEXES)))],
+                    int(AGES[int(self._rng.integers(len(AGES)))]),
+                    duration,
+                )
+            )
+        movies = ORelation(
+            "M",
+            ["id", "genre", "lead_sex", "lead_age", "duration"],
+            movie_rows,
+        )
+        # V covers the WHOLE pool: arrivals are registered users whose
+        # session starts later, so demographic joins and AGG attribute
+        # lookups never dangle.
+        voters = ORelation(
+            "V",
+            ["voter", "sex", "age"],
+            [
+                (worker,) + self._demographics[worker]
+                for worker in self._workers
+            ],
+        )
+        sessions: dict[SessionKey, Any] = {
+            (worker,): self._component_for(worker)
+            for worker in self._active
+        }
+        return MutablePPDatabase(
+            orelations=[movies, voters],
+            prelations=[PRelation("P", ["voter"], sessions)],
+        )
+
+    # ------------------------------------------------------------------
+    # The schedule
+    # ------------------------------------------------------------------
+
+    def _pick(self, population: list[str], count: int) -> list[str]:
+        """``count`` distinct members, seeded, in stable order."""
+        count = min(count, len(population))
+        if count == 0:
+            return []
+        chosen = self._rng.choice(len(population), size=count, replace=False)
+        return [population[index] for index in sorted(int(i) for i in chosen)]
+
+    def step(self) -> list[SessionDelta]:
+        """Apply one generation step: arrivals, updates, expirations.
+
+        Updates split between component re-assignment (the cache may
+        already hold the solves — zero fresh work) and freshly drawn
+        models (genuinely new solve identities).  Expirations keep at
+        least two sessions live so the relation never empties.
+        """
+        deltas: list[SessionDelta] = []
+        arriving = self._waiting[: self.arrivals]
+        self._waiting = self._waiting[self.arrivals:]
+        for worker in arriving:
+            model = (
+                self._draw_model()
+                if self._rng.random() < 0.5
+                else self._component_for(worker)
+            )
+            deltas.append(self.db.add_session("P", (worker,), model))
+            self._active.append(worker)
+        for worker in self._pick(self._active, self.updates):
+            model = (
+                self._draw_model()
+                if self._rng.random() < 0.5
+                else self._component_for(worker)
+            )
+            deltas.append(self.db.update_session("P", (worker,), model))
+        expirable = [w for w in self._active if w not in arriving]
+        budget = max(0, min(self.expirations, len(self._active) - 2))
+        for worker in self._pick(expirable, budget):
+            deltas.append(self.db.expire_session("P", (worker,)))
+            self._active.remove(worker)
+            self._waiting.append(worker)
+        return deltas
+
+    def run(self, n_steps: int) -> list[list[SessionDelta]]:
+        """``n_steps`` consecutive steps' deltas (mutating :attr:`db`)."""
+        return [self.step() for _ in range(n_steps)]
+
+    # ------------------------------------------------------------------
+    # The standing workload
+    # ------------------------------------------------------------------
+
+    def standing_requests(self, n_requests: int, k: int = 3) -> list[str]:
+        """``n_requests`` overlapping standing requests, all four kinds.
+
+        Cycles the kind prefixes over the CrowdRank query families with
+        rotating label parameters — the same overlapping shape as
+        ``python -m repro batch``, so registrations share solves through
+        the one engine cache.
+        """
+        requests: list[str] = []
+        for index in range(n_requests):
+            prefix = _KIND_PREFIXES[index % len(_KIND_PREFIXES)].format(k=k)
+            template = _TEMPLATES[index % len(_TEMPLATES)]
+            requests.append(
+                prefix
+                + template.format(
+                    genre=GENRES[index % len(GENRES)],
+                    sex=SEXES[index % len(SEXES)],
+                    duration=DURATIONS[index % len(DURATIONS)],
+                )
+            )
+        return requests
+
+    def __repr__(self) -> str:
+        return (
+            f"TrafficReplayer(active={len(self._active)}, "
+            f"waiting={len(self._waiting)}, movies={self.n_movies}, "
+            f"generation={self.db.generation})"
+        )

@@ -1,0 +1,468 @@
+"""Streaming sessions: delta semantics, targeted invalidation, standing
+queries (DESIGN.md Section 15).
+
+The load-bearing contract is bit-identity: after any seeded sequence of
+adds/updates/expirations, every materialized standing answer must equal
+a from-scratch ``answer()`` on the mutated database exactly — same kind,
+same principal value, same per-session probabilities — for all four
+request kinds, with and without a sharded cache tier beneath the engine.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.api import answer, answer_many
+from repro.db.database import PPDatabase
+from repro.db.mutable import MutablePPDatabase, SessionDelta
+from repro.db.schema import ORelation, PRelation
+from repro.rankings.permutation import Ranking
+from repro.rim.mallows import Mallows
+from repro.server.app import ServerApp
+from repro.server.config import ServerConfig
+from repro.service.cache import SolverCache
+from repro.service.persist import PersistentSolverCache, encode_key
+from repro.service.shard import (
+    ShardCacheServer,
+    ShardClient,
+    ShardedSolverCache,
+    ShardProtocolError,
+)
+from repro.stream import (
+    StandingQueryEngine,
+    TrafficReplayer,
+    answers_equal,
+)
+
+pytestmark = pytest.mark.timeout(120)
+
+ITEMS = [1, 2, 3, 4]
+
+
+def model(phi: float, center: "list[int] | None" = None) -> Mallows:
+    return Mallows(Ranking(center if center is not None else ITEMS), phi)
+
+
+def make_db(n_sessions: int = 3) -> MutablePPDatabase:
+    movies = ORelation(
+        "M",
+        ["id", "genre", "duration"],
+        [
+            (1, "Thriller", "long"),
+            (2, "Drama", "short"),
+            (3, "Drama", "long"),
+            (4, "Comedy", "short"),
+        ],
+    )
+    sessions = {
+        (f"w{index}",): model(0.3 + 0.1 * index)
+        for index in range(n_sessions)
+    }
+    return MutablePPDatabase(
+        orelations=[movies],
+        prelations=[PRelation("P", ["worker"], sessions)],
+    )
+
+
+QUERY = "P(w; m1; m2), M(m1, 'Thriller', _), M(m2, _, 'short')"
+
+
+# ----------------------------------------------------------------------
+# The mutable database
+# ----------------------------------------------------------------------
+
+
+class TestMutableDatabase:
+    def test_generation_counts_mutations(self):
+        db = make_db()
+        assert db.generation == 0
+        first = db.add_session("P", ("w9",), model(0.5))
+        assert (first.generation, first.kind) == (1, "add")
+        second = db.update_session("P", "w9", model(0.6))
+        assert (second.generation, second.kind) == (2, "update")
+        third = db.expire_session("P", ("w9",))
+        assert (third.generation, third.kind, third.model) == (
+            3, "expire", None,
+        )
+        assert db.generation == 3
+        assert all(
+            delta.relation == "P" and delta.key == ("w9",)
+            for delta in (first, second, third)
+        )
+
+    def test_subscribers_see_deltas_in_order(self):
+        db = make_db()
+        seen: list[SessionDelta] = []
+        unsubscribe = db.subscribe(seen.append)
+        db.add_session("P", ("w9",), model(0.5))
+        db.expire_session("P", ("w9",))
+        assert [delta.generation for delta in seen] == [1, 2]
+        unsubscribe()
+        db.add_session("P", ("w9",), model(0.5))
+        assert len(seen) == 2
+
+    def test_from_database_wraps_static_instance(self):
+        static = make_db(2).snapshot()
+        assert isinstance(static, PPDatabase)
+        db = MutablePPDatabase.from_database(static)
+        assert db.generation == 0
+        db.update_session("P", ("w0",), model(0.9))
+        # The wrapped source is untouched.
+        assert static.prelation("P").model_of(("w0",)).phi != 0.9
+
+    def test_snapshot_is_frozen(self):
+        db = make_db(2)
+        frozen = db.snapshot()
+        db.add_session("P", ("w9",), model(0.5))
+        db.update_session("P", ("w0",), model(0.9))
+        assert ("w9",) not in list(frozen.prelation("P").session_keys())
+        assert frozen.prelation("P").model_of(("w0",)).phi != 0.9
+
+    def test_add_existing_rejected(self):
+        db = make_db()
+        with pytest.raises(ValueError, match="use update_session"):
+            db.add_session("P", ("w0",), model(0.5))
+
+    def test_update_missing_rejected(self):
+        db = make_db()
+        with pytest.raises(KeyError, match="no session"):
+            db.update_session("P", ("nobody",), model(0.5))
+
+    def test_expire_missing_and_last_rejected(self):
+        db = make_db(1)
+        with pytest.raises(KeyError, match="no session"):
+            db.expire_session("P", ("nobody",))
+        with pytest.raises(ValueError, match="at least one session"):
+            db.expire_session("P", ("w0",))
+
+    def test_universe_mismatch_rejected(self):
+        db = make_db()
+        with pytest.raises(ValueError, match="different item universe"):
+            db.add_session("P", ("w9",), model(0.5, center=[1, 2, 3]))
+
+    def test_bad_key_arity_rejected(self):
+        db = make_db()
+        with pytest.raises(ValueError, match="does not match columns"):
+            db.add_session("P", ("a", "b"), model(0.5))
+
+    def test_failed_mutation_emits_nothing(self):
+        db = make_db()
+        seen: list[SessionDelta] = []
+        db.subscribe(seen.append)
+        with pytest.raises(ValueError):
+            db.add_session("P", ("w0",), model(0.5))
+        assert seen == [] and db.generation == 0
+
+
+# ----------------------------------------------------------------------
+# Targeted invalidation, tier by tier
+# ----------------------------------------------------------------------
+
+
+class TestInvalidate:
+    def test_solver_cache_drops_exactly_the_keys(self):
+        cache = SolverCache(capacity=8)
+        cache.put_many([("a", 1), ("b", 2), ("c", 3)])
+        assert cache.invalidate(["a", "c", "ghost"]) == 2
+        assert cache.get("a") is None and cache.get("b") == 2
+        stats = cache.stats()
+        assert stats.invalidations == 2 and stats.size == 1
+
+    def test_persistent_cache_drops_from_disk(self, tmp_path):
+        path = tmp_path / "cache.sqlite"
+        cache = PersistentSolverCache(capacity=8, db_path=path)
+        cache.put_many([("a", (0.25, "lifted")), ("b", (0.5, "lifted"))])
+        assert cache.invalidate(["a"]) == 1
+        assert cache.persistent.stats()["disk_invalidations"] == 1
+        cache.close()
+        # A cold restart over the same file must not resurrect the key.
+        reopened = PersistentSolverCache(capacity=8, db_path=path)
+        assert reopened.get("a") is None
+        assert reopened.get("b") == (0.5, "lifted")
+        reopened.close()
+
+    def test_sharded_cache_drops_across_shards(self):
+        cache = ShardedSolverCache(capacity=8, n_shards=2)
+        cache.put_many([("a", (0.25, "lifted")), ("b", (0.5, "lifted"))])
+        assert cache.invalidate(["a", "b"]) == 2
+        assert cache.get("a") is None and cache.get("b") is None
+        assert cache.tier_stats()["shard_invalidations"] == 2
+        cache.close()
+
+    def test_shard_protocol_invalidate(self):
+        with ShardCacheServer(n_shards=2, capacity=8) as server:
+            client = ShardClient(server.address)
+            keys = [encode_key(("k", index)) for index in range(3)]
+            client.put_many([(key, (0.5, "s")) for key in keys])
+            assert client.invalidate(keys[:2]) == 2
+            assert client.get(keys[0]) is None
+            assert client.get(keys[2]) == (0.5, "s")
+            assert client.stats()["totals"]["invalidations"] == 2
+            client.close()
+
+    def test_shard_protocol_rejects_malformed_invalidate(self):
+        with ShardCacheServer(n_shards=1, capacity=8) as server:
+            client = ShardClient(server.address)
+            with pytest.raises(ShardProtocolError, match="encoded TEXT"):
+                client.invalidate([("not", "text")])  # type: ignore[list-item]
+            # The connection survives the protocol error.
+            client.put_many([("k", (0.5, "s"))])
+            assert client.get("k") == (0.5, "s")
+            client.close()
+
+
+# ----------------------------------------------------------------------
+# Generation stamps on answers
+# ----------------------------------------------------------------------
+
+
+class TestGenerationStamp:
+    def test_static_database_has_no_generation(self):
+        static = make_db().snapshot()
+        assert answer(QUERY, static).generation is None
+
+    def test_answers_carry_the_generation(self):
+        db = make_db()
+        assert answer(QUERY, db).generation == 0
+        db.update_session("P", ("w0",), model(0.9))
+        assert answer(QUERY, db).generation == 1
+
+    def test_batch_answers_carry_the_generation(self):
+        db = make_db()
+        db.add_session("P", ("w9",), model(0.5))
+        batch = answer_many([QUERY, f"COUNT {QUERY}"], db)
+        assert batch.generation == 1
+        assert [a.generation for a in batch.answers] == [1, 1]
+
+
+# ----------------------------------------------------------------------
+# The standing-query engine
+# ----------------------------------------------------------------------
+
+
+class TestStandingEngine:
+    @pytest.mark.parametrize("n_shards", [None, 2])
+    def test_bit_identical_across_seeded_traffic(self, n_shards):
+        """All four request kinds stay bit-identical to a from-scratch
+        evaluation through a seeded add/update/expire sequence."""
+        replayer = TrafficReplayer(
+            n_active=8, n_pool=3, n_movies=6, seed=11
+        )
+        cache = (
+            ShardedSolverCache(capacity=512, n_shards=n_shards)
+            if n_shards is not None
+            else SolverCache(capacity=512)
+        )
+        engine = StandingQueryEngine(
+            replayer.db, cache=cache, auto_refresh=False
+        )
+        registered = [
+            engine.register(text)
+            for text in replayer.standing_requests(4)
+        ]
+        kinds = {standing.answer.kind for standing in registered}
+        assert len(kinds) == 4  # probability, count, top-k, aggregate
+        for _ in range(3):
+            replayer.step()
+            engine.refresh()
+            frozen = replayer.db.snapshot()
+            for standing in registered:
+                reference = answer(
+                    standing.request, frozen, method=standing.method
+                )
+                assert answers_equal(standing.answer, reference), (
+                    f"standing query {standing.query_id} diverged at "
+                    f"generation {replayer.db.generation}"
+                )
+                assert standing.answer.generation == replayer.db.generation
+        engine.close()
+        if n_shards is not None:
+            cache.close()
+
+    def test_auto_refresh_tracks_mutations(self):
+        db = make_db()
+        engine = StandingQueryEngine(db)
+        standing = engine.register(QUERY)
+        before = standing.value
+        db.update_session("P", ("w0",), model(0.95))
+        # No explicit refresh: the subscription re-materialized it.
+        assert standing.generation == 1
+        assert not standing.stale
+        assert answers_equal(standing.answer, answer(QUERY, db))
+        assert standing.value != before
+        engine.close()
+
+    def test_untouched_queries_skip_recomputation(self):
+        db = make_db()
+        engine = StandingQueryEngine(db, auto_refresh=False)
+        standing = engine.register(QUERY)
+        cold = standing.n_refreshes
+        db.update_session("P", ("w1",), model(0.95))
+        assert standing.stale
+        assert engine.stats()["max_staleness"] == 1
+        refreshed = engine.refresh()
+        assert refreshed == [standing]
+        assert standing.n_refreshes == cold + 1
+        # A second refresh with no new deltas recomputes nothing.
+        assert engine.refresh() == []
+        assert engine.stats()["max_staleness"] == 0
+        engine.close()
+
+    def test_update_retires_the_previous_key(self):
+        db = make_db()
+        cache = SolverCache()
+        engine = StandingQueryEngine(db, cache=cache, auto_refresh=False)
+        standing = engine.register(QUERY)
+        db.update_session("P", ("w0",), model(0.95))
+        engine.refresh()
+        assert standing.n_invalidations >= 1
+        assert cache.stats().invalidations >= 1
+        assert engine.stats()["invalidations_applied"] >= 1
+        engine.close()
+
+    def test_deregister_drops_only_exclusive_keys(self):
+        db = make_db()
+        cache = SolverCache()
+        engine = StandingQueryEngine(db, cache=cache, auto_refresh=False)
+        first = engine.register(QUERY)
+        second = engine.register(f"COUNT {QUERY}")
+        # Both kinds share the same canonical solves: nothing to drop.
+        assert engine.deregister(first.query_id) == 0
+        assert engine.deregister(second.query_id) > 0
+        assert engine.stats()["count"] == 0
+        with pytest.raises(KeyError):
+            engine.deregister(first.query_id)
+        engine.close()
+
+    def test_rejects_approximate_methods(self):
+        db = make_db()
+        with pytest.raises(ValueError, match="cacheable"):
+            StandingQueryEngine(db, method="rejection")
+        engine = StandingQueryEngine(db, auto_refresh=False)
+        with pytest.raises(ValueError, match="cacheable"):
+            engine.register(QUERY, method="mis_amp_lite")
+        engine.close()
+
+    def test_closed_engine_ignores_deltas(self):
+        db = make_db()
+        engine = StandingQueryEngine(db)
+        standing = engine.register(QUERY)
+        engine.close()
+        db.update_session("P", ("w0",), model(0.95))
+        assert standing.generation == 0 and not standing.stale
+
+
+# ----------------------------------------------------------------------
+# The replayer
+# ----------------------------------------------------------------------
+
+
+class TestTrafficReplayer:
+    def test_same_seed_same_traffic(self):
+        schedules = []
+        for _ in range(2):
+            replayer = TrafficReplayer(
+                n_active=6, n_pool=3, n_movies=5, seed=42
+            )
+            deltas = [d for step in replayer.run(4) for d in step]
+            schedules.append(
+                [(d.generation, d.kind, d.key) for d in deltas]
+            )
+        assert schedules[0] == schedules[1]
+
+    def test_step_respects_schedule_counts(self):
+        replayer = TrafficReplayer(
+            n_active=6, n_pool=2, n_movies=5,
+            arrivals=1, updates=2, expirations=1, seed=5,
+        )
+        kinds = [d.kind for d in replayer.step()]
+        assert kinds.count("add") == 1
+        assert kinds.count("update") == 2
+        assert kinds.count("expire") == 1
+
+    def test_relation_never_drains(self):
+        replayer = TrafficReplayer(
+            n_active=2, n_pool=0, n_movies=4,
+            arrivals=0, updates=0, expirations=5, seed=1,
+        )
+        replayer.run(6)
+        assert len(list(replayer.db.prelation("P").session_keys())) >= 2
+
+    def test_standing_requests_cycle_all_kinds(self):
+        replayer = TrafficReplayer(n_active=2, n_movies=4, seed=0)
+        requests = replayer.standing_requests(4)
+        assert len(requests) == 4
+        assert requests[1].startswith("COUNT ")
+        assert requests[2].startswith("TOPK 3 ")
+        assert requests[3].startswith("AGG mean(V.age) ")
+
+
+# ----------------------------------------------------------------------
+# The server gauge and the CLI
+# ----------------------------------------------------------------------
+
+
+class TestObservability:
+    def test_server_stats_gains_standing_queries_gauge(self):
+        db = make_db()
+        engine = StandingQueryEngine(db, auto_refresh=False)
+        engine.register(QUERY)
+        app = ServerApp(
+            ServerConfig(dataset="polls", backend="serial", port=0),
+            stream=engine,
+        )
+        try:
+            db.update_session("P", ("w0",), model(0.9))
+            stats = app.handle_stats()
+            gauge = stats["standing_queries"]
+            assert gauge["count"] == 1
+            assert gauge["generation"] == 1
+            assert gauge["max_staleness"] == 1
+            assert gauge["refreshes"] == 1
+            assert "invalidations_applied" in gauge
+        finally:
+            asyncio.run(app.shutdown())
+            engine.close()
+
+    def test_server_without_stream_has_no_gauge(self):
+        app = ServerApp(
+            ServerConfig(dataset="polls", backend="serial", port=0)
+        )
+        try:
+            assert "standing_queries" not in app.handle_stats()
+        finally:
+            asyncio.run(app.shutdown())
+
+
+class TestReplayCLI:
+    def test_replay_verifies_bit_identity(self, capsys):
+        from repro.__main__ import main
+
+        assert main([
+            "replay", "--steps", "2", "--sessions", "8", "--pool", "3",
+            "--movies", "5", "--queries", "4", "--verify", "--seed", "3",
+        ]) == 0
+        output = capsys.readouterr().out
+        assert "fresh_solves" in output
+        assert "bit-identical" in output
+
+    def test_replay_with_shards(self, capsys):
+        from repro.__main__ import main
+
+        assert main([
+            "replay", "--steps", "1", "--sessions", "6", "--pool", "2",
+            "--movies", "5", "--queries", "2", "--shards", "2",
+            "--seed", "3",
+        ]) == 0
+        assert "steady state" in capsys.readouterr().out
+
+    def test_replay_rejects_bad_arguments(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["replay", "--steps", "0"]) == 2
+        assert main([
+            "replay", "--steps", "1", "--method", "rejection",
+        ]) == 2
+        assert "cacheable" in capsys.readouterr().err
